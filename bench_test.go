@@ -1,0 +1,411 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in DESIGN.md.
+//
+// Each benchmark regenerates its artifact end to end (fixtures are shared
+// and cached across benchmarks within a run) and reports headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction run. cmd/senseibench prints the full tables.
+package sensei_test
+
+import (
+	"sync"
+	"testing"
+
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/experiments"
+	"sensei/internal/mos"
+	"sensei/internal/player"
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// benchLab shares fixtures across benchmarks; Quick keeps the full run
+// under a few minutes while preserving every experimental shape.
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab(experiments.Quick) })
+	return benchLab
+}
+
+func BenchmarkTable1VideoSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := lab().Table1()
+		if len(res.Rows) != 16 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig1RebufferPositions(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.GapPct
+	}
+	b.ReportMetric(100*gap, "maxMinGap%")
+}
+
+func BenchmarkFig2ModelAccuracy(b *testing.B) {
+	var senseiErr, ksqiErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Model {
+			case "SENSEI":
+				senseiErr = row.MeanRelErr
+			case "KSQI":
+				ksqiErr = row.MeanRelErr
+			}
+		}
+	}
+	b.ReportMetric(100*senseiErr, "senseiErr%")
+	b.ReportMetric(100*ksqiErr, "ksqiErr%")
+}
+
+func BenchmarkFig3QoEGapCDF(b *testing.B) {
+	var above40 float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		above40 = res.Above40Pct
+	}
+	b.ReportMetric(100*above40, "seriesAbove40%")
+}
+
+func BenchmarkFig4IncidentLocation(b *testing.B) {
+	var srcc float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcc = stats.Spearman(res.MOS[0], res.MOS[1])
+	}
+	b.ReportMetric(srcc, "srcc1sVs4s")
+}
+
+func BenchmarkFig5RankCorrelation(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = stats.Mean(res.Rebuf1Vs4)
+	}
+	b.ReportMetric(mean, "meanSRCC")
+}
+
+func BenchmarkFig6PotentialGains(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var g, n float64
+		for k := range res.ScalePct {
+			g += (res.AwareQoE[k] - res.UnawareQoE[k]) / res.UnawareQoE[k]
+			n++
+		}
+		gain = g / n
+	}
+	b.ReportMetric(100*gain, "meanAwareGain%")
+}
+
+func BenchmarkFig12aQoEGainCDF(b *testing.B) {
+	var senseiMed, fuguMed float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig12a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		senseiMed = stats.Percentile(res.SenseiGains, 0.5)
+		fuguMed = stats.Percentile(res.FuguGains, 0.5)
+	}
+	b.ReportMetric(100*senseiMed, "senseiMedGain%")
+	b.ReportMetric(100*fuguMed, "fuguMedGain%")
+}
+
+func BenchmarkFig12bBandwidthSavings(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig12b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.BandwidthSavingPct
+	}
+	b.ReportMetric(100*saving, "bwSaving%")
+}
+
+func BenchmarkFig12cCostVsQoE(b *testing.B) {
+	var pruning float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig12c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pruning = res.PruningSavingPct
+	}
+	b.ReportMetric(100*pruning, "costCut%")
+}
+
+func BenchmarkFig13PerVideo(b *testing.B) {
+	var senseiMean float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		senseiMean = stats.Mean(res.SenseiGain)
+	}
+	b.ReportMetric(100*senseiMean, "senseiMeanGain%")
+}
+
+func BenchmarkFig14PerTrace(b *testing.B) {
+	var lowGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lowGain = res.SenseiGain[0]
+	}
+	b.ReportMetric(100*lowGain, "lowestTraceGain%")
+}
+
+func BenchmarkFig15PredictionAccuracy(b *testing.B) {
+	var senseiPLCC float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Model == "SENSEI" {
+				senseiPLCC = row.PLCC
+			}
+		}
+	}
+	b.ReportMetric(senseiPLCC, "senseiPLCC")
+}
+
+func BenchmarkFig16CostPruning(b *testing.B) {
+	var panels float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		panels = float64(len(res.Panels))
+	}
+	b.ReportMetric(panels, "panels")
+}
+
+func BenchmarkFig17BandwidthVariance(b *testing.B) {
+	var wins float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins = 0
+		for k := range res.StdDevKbps {
+			if res.SenseiFugu[k] >= res.Fugu[k] {
+				wins++
+			}
+		}
+	}
+	b.ReportMetric(wins, "senseiWins")
+}
+
+func BenchmarkFig18aBaseABR(b *testing.B) {
+	var fuguGain, senseiGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fuguGain = res.FuguBase
+		senseiGain = res.FuguSensei
+	}
+	b.ReportMetric(100*fuguGain, "fuguGain%")
+	b.ReportMetric(100*senseiGain, "senseiFuguGain%")
+}
+
+func BenchmarkFig18bBreakdown(b *testing.B) {
+	var bitrateOnly, full float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bitrateOnly = res.BreakBitrateOnly
+		full = res.BreakFull
+	}
+	b.ReportMetric(100*bitrateOnly, "bitrateOnly%")
+	b.ReportMetric(100*full, "fullSensei%")
+}
+
+func BenchmarkFig20CVBaselines(b *testing.B) {
+	var worstSRCC float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Fig20()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstSRCC = -1
+		for _, s := range res.MeanSRCC {
+			if s > worstSRCC {
+				worstSRCC = s
+			}
+		}
+	}
+	b.ReportMetric(worstSRCC, "bestCVModelSRCC")
+}
+
+func BenchmarkSanityMTurkVsLab(b *testing.B) {
+	var maxDiff float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab().Sanity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDiff = res.MaxRelDiffPct
+	}
+	b.ReportMetric(100*maxDiff, "maxRelDiff%")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// ablationFixture builds a small video/weights/trace set shared by the
+// ablation benches.
+type ablationFixture struct {
+	videos  []*video.Video
+	weights map[string][]float64
+	traces  []*trace.Trace
+}
+
+var (
+	ablationOnce sync.Once
+	ablation     *ablationFixture
+)
+
+func ablationSetup(b *testing.B) *ablationFixture {
+	b.Helper()
+	ablationOnce.Do(func() {
+		videos := video.TestSet()[:4]
+		pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 20000, Seed: 0xab1a})
+		if err != nil {
+			panic(err)
+		}
+		weights, _, err := crowd.NewProfiler(pop).ProfileAll(videos)
+		if err != nil {
+			panic(err)
+		}
+		all := trace.TestSet()
+		ablation = &ablationFixture{
+			videos:  videos,
+			weights: weights,
+			traces:  []*trace.Trace{all[1], all[3], all[5]},
+		}
+	})
+	return ablation
+}
+
+// BenchmarkAblationHorizon sweeps the MPC look-ahead h. The paper picks
+// h=5, observing gains flatten beyond 4.
+func BenchmarkAblationHorizon(b *testing.B) {
+	fx := ablationSetup(b)
+	horizons := []int{2, 3, 4, 5}
+	qoes := make([]float64, len(horizons))
+	for i := 0; i < b.N; i++ {
+		for hi, h := range horizons {
+			var sum, n float64
+			for _, v := range fx.videos {
+				for _, tr := range fx.traces {
+					alg := abr.NewSenseiFugu()
+					alg.Horizon = h
+					res, err := player.Play(v, tr, alg, fx.weights[v.Name], player.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += mos.TrueQoE(res.Rendering)
+					n++
+				}
+			}
+			qoes[hi] = sum / n
+		}
+	}
+	b.ReportMetric(qoes[0], "qoeH2")
+	b.ReportMetric(qoes[2], "qoeH4")
+	b.ReportMetric(qoes[3], "qoeH5")
+}
+
+// BenchmarkAblationRidge sweeps the weight-inference regularizer.
+func BenchmarkAblationRidge(b *testing.B) {
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 20000, Seed: 0xab1b})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := video.TestSet()[1]
+	lambdas := []float64{0.005, 0.05, 0.5}
+	srccs := make([]float64, len(lambdas))
+	for i := 0; i < b.N; i++ {
+		for li, lambda := range lambdas {
+			profiler := crowd.NewProfiler(pop)
+			profiler.Params.RidgeLambda = lambda
+			p, err := profiler.Profile(v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srccs[li] = stats.Spearman(p.Weights, v.TrueSensitivity())
+		}
+	}
+	b.ReportMetric(srccs[0], "srccLam.005")
+	b.ReportMetric(srccs[1], "srccLam.05")
+	b.ReportMetric(srccs[2], "srccLam.5")
+}
+
+// BenchmarkAblationRiskAversion sweeps the MPC risk blend.
+func BenchmarkAblationRiskAversion(b *testing.B) {
+	fx := ablationSetup(b)
+	lambdas := []float64{0, 0.35, 0.7}
+	qoes := make([]float64, len(lambdas))
+	for i := 0; i < b.N; i++ {
+		for li, lam := range lambdas {
+			var sum, n float64
+			for _, v := range fx.videos {
+				for _, tr := range fx.traces {
+					alg := abr.NewSenseiFugu()
+					alg.RiskAversion = lam
+					res, err := player.Play(v, tr, alg, fx.weights[v.Name], player.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += mos.TrueQoE(res.Rendering)
+					n++
+				}
+			}
+			qoes[li] = sum / n
+		}
+	}
+	b.ReportMetric(qoes[0], "qoeRisk0")
+	b.ReportMetric(qoes[1], "qoeRisk.35")
+	b.ReportMetric(qoes[2], "qoeRisk.7")
+}

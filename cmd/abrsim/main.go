@@ -1,0 +1,135 @@
+// Command abrsim compares ABR algorithms on one video over one or more
+// throughput traces, printing per-session and aggregate quality. Traces
+// can be synthetic or loaded from measurement files (one bits-per-second
+// sample per line, or "timestamp bandwidth" pairs).
+//
+// Usage:
+//
+//	abrsim [-video Soccer1] [-algs bba,bola,rate,fugu,sensei-fugu]
+//	       [-mbps 1.5] [-kind hsdpa] [-traces file1,file2] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensei"
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/mos"
+	"sensei/internal/player"
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+)
+
+func main() {
+	name := flag.String("video", "Soccer1", "catalog video name")
+	algNames := flag.String("algs", "bba,bola,rate,fugu,sensei-fugu", "comma-separated algorithms")
+	mbps := flag.Float64("mbps", 1.5, "synthetic trace mean throughput (Mbps)")
+	kind := flag.String("kind", "hsdpa", "synthetic trace family: fcc or hsdpa")
+	traceFiles := flag.String("traces", "", "comma-separated trace files (overrides synthetic)")
+	seed := flag.Uint64("seed", 7, "synthetic trace seed")
+	popSize := flag.Int("pop", 30000, "rater population size for profiling")
+	flag.Parse()
+
+	v, err := sensei.VideoByName(*name)
+	if err != nil {
+		fail(err)
+	}
+
+	// Profile once; only sensitivity-aware algorithms consume the weights.
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: *popSize, Seed: 0x717})
+	if err != nil {
+		fail(err)
+	}
+	profile, err := crowd.NewProfiler(pop).Profile(v)
+	if err != nil {
+		fail(err)
+	}
+
+	traces, err := loadTraces(*traceFiles, *kind, *mbps, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	type algEntry struct {
+		alg     player.Algorithm
+		weights []float64
+	}
+	var algs []algEntry
+	for _, a := range strings.Split(*algNames, ",") {
+		switch strings.TrimSpace(a) {
+		case "bba":
+			algs = append(algs, algEntry{abr.NewBBA(), nil})
+		case "bola":
+			algs = append(algs, algEntry{abr.NewBOLA(), nil})
+		case "rate":
+			algs = append(algs, algEntry{abr.NewRateRule(), nil})
+		case "fugu":
+			algs = append(algs, algEntry{abr.NewFugu(), nil})
+		case "sensei-fugu":
+			algs = append(algs, algEntry{abr.NewSenseiFugu(), profile.Weights})
+		default:
+			fail(fmt.Errorf("unknown algorithm %q", a))
+		}
+	}
+
+	fmt.Printf("%-14s %-14s %8s %9s %8s %9s\n", "trace", "algorithm", "trueQoE", "kbps", "rebuf(s)", "switches")
+	agg := map[string][]float64{}
+	for _, tr := range traces {
+		for _, e := range algs {
+			res, err := player.Play(v, tr, e.alg, e.weights, player.Config{})
+			if err != nil {
+				fail(err)
+			}
+			q := mos.TrueQoE(res.Rendering)
+			agg[e.alg.Name()] = append(agg[e.alg.Name()], q)
+			fmt.Printf("%-14s %-14s %8.3f %9.0f %8.1f %9d\n",
+				tr.Name, e.alg.Name(), q,
+				res.Rendering.MeanBitrateKbps(), res.RebufferSec, res.Rendering.SwitchCount())
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%-14s %8s %18s\n", "algorithm", "meanQoE", "95% CI")
+	for _, e := range algs {
+		qs := agg[e.alg.Name()]
+		iv := stats.BootstrapMean(qs, 0.95, 1000, stats.NewRNG(1))
+		fmt.Printf("%-14s %8.3f   [%.3f, %.3f]\n", e.alg.Name(), iv.Point, iv.Lo, iv.Hi)
+	}
+}
+
+// loadTraces reads measurement files or synthesizes one trace.
+func loadTraces(files, kind string, mbps float64, seed uint64) ([]*trace.Trace, error) {
+	if files == "" {
+		k := trace.KindHSDPA
+		if kind == "fcc" {
+			k = trace.KindFCC
+		}
+		return []*trace.Trace{trace.Generate(trace.GenSpec{
+			Name: fmt.Sprintf("%s-%.1fM", kind, mbps), Kind: k,
+			MeanBps: mbps * 1e6, Seconds: 900, Seed: seed,
+		})}, nil
+	}
+	var out []*trace.Trace
+	for _, path := range strings.Split(files, ",") {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Read(f, path)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "abrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command dashclient streams a catalog video from a dashserver instance,
+// driving a selectable ABR algorithm and reporting the delivered quality.
+// SENSEI weights arrive via the manifest's SenseiWeights extension (§6).
+//
+// Usage:
+//
+//	dashclient [-url http://127.0.0.1:8428] [-video Soccer1]
+//	           [-abr sensei-fugu|fugu|bba] [-timescale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sensei"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8428", "dashserver base URL")
+	name := flag.String("video", "Soccer1", "catalog video name (must match the server)")
+	abrName := flag.String("abr", "sensei-fugu", "abr algorithm: sensei-fugu, fugu or bba")
+	timescale := flag.Float64("timescale", 0.01, "must match the server's timescale")
+	flag.Parse()
+
+	v, err := sensei.VideoByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	var alg sensei.Algorithm
+	switch *abrName {
+	case "sensei-fugu":
+		alg = sensei.NewSenseiFugu()
+	case "fugu":
+		alg = sensei.NewFugu()
+	case "bba":
+		alg = sensei.NewBBA()
+	default:
+		fail(fmt.Errorf("unknown abr %q", *abrName))
+	}
+
+	client := &sensei.DASHClient{BaseURL: *url, Algorithm: alg, TimeScale: *timescale}
+	fmt.Printf("streaming %s from %s with %s...\n", v.Name, *url, alg.Name())
+	sess, err := client.Stream(v)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("downloaded %.1f MB, rebuffered %.1f virtual seconds\n",
+		float64(sess.BytesDownloaded)/1e6, sess.RebufferVirtualSec)
+	fmt.Printf("mean bitrate: %.0f kbps, switches: %d\n",
+		sess.Rendering.MeanBitrateKbps(), sess.Rendering.SwitchCount())
+	if sess.Weights != nil {
+		fmt.Printf("manifest carried %d sensitivity weights\n", len(sess.Weights))
+		fmt.Printf("weighted session QoE: %.3f\n", sensei.WeightedSessionQoE(sess.Rendering, sess.Weights))
+	}
+	fmt.Printf("content-blind session QoE: %.3f\n", sensei.SessionQoE(sess.Rendering))
+	fmt.Printf("latent true QoE: %.3f\n", sensei.TrueQoE(sess.Rendering))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dashclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command dashserver serves a catalog video over HTTP with trace-shaped
+// egress and a SENSEI-extended DASH manifest (§6). Pair it with dashclient.
+//
+// Usage:
+//
+//	dashserver [-addr 127.0.0.1:8428] [-video Soccer1] [-mbps 2.5]
+//	           [-timescale 0.01] [-profile] [-pop 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"sensei"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8428", "listen address")
+	name := flag.String("video", "Soccer1", "catalog video name")
+	mbps := flag.Float64("mbps", 2.5, "mean bottleneck throughput in Mbps")
+	timescale := flag.Float64("timescale", 0.01, "wall-clock compression (0.01 = 100x faster)")
+	profile := flag.Bool("profile", true, "profile the video and embed weights in the manifest")
+	popSize := flag.Int("pop", 20000, "rater population size for profiling")
+	flag.Parse()
+
+	v, err := sensei.VideoByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	var weights []float64
+	if *profile {
+		pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: *popSize, Seed: 0x717})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("profiling %s (%d chunks)...\n", v.Name, v.NumChunks())
+		p, err := sensei.NewProfiler(pop).Profile(v)
+		if err != nil {
+			fail(err)
+		}
+		weights = p.Weights
+		fmt.Printf("profiled: $%.1f/min, %d participants\n", p.CostPerMinuteUSD, p.Participants)
+	}
+
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "bottleneck", Kind: sensei.TraceHSDPA, MeanBps: *mbps * 1e6, Seconds: 1800, Seed: 0xd1,
+	})
+	shaper, err := sensei.NewDASHShaper(tr, *timescale)
+	if err != nil {
+		fail(err)
+	}
+	srv, err := sensei.NewDASHServer(v, weights, shaper)
+	if err != nil {
+		fail(err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serving %s at http://%s (manifest: /manifest.mpd, segments: /segment/<chunk>/<rung>)\n", v.Name, bound)
+	fmt.Printf("bottleneck: %.1f Mbps mean, timescale %.3f\n", *mbps, *timescale)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("shutting down")
+	_ = srv.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dashserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command profiler runs SENSEI's crowdsourced QoE-profiling pipeline (§4)
+// on one catalog video and prints the inferred per-chunk sensitivity
+// weights together with the campaign's cost and delay accounting.
+//
+// Usage:
+//
+//	profiler [-video Soccer1] [-raters 10] [-full] [-pop 30000] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensei"
+)
+
+func main() {
+	name := flag.String("video", "Soccer1", "catalog video name (Table 1)")
+	raters := flag.Int("raters", 0, "override step-one raters per rendering (M1)")
+	full := flag.Bool("full", false, "run the unpruned full-enumeration strawman too")
+	popSize := flag.Int("pop", 30000, "rater population size")
+	seed := flag.Uint64("seed", 0x717, "population seed")
+	flag.Parse()
+
+	v, err := sensei.VideoByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: *popSize, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	profiler := sensei.NewProfiler(pop)
+	if *raters > 0 {
+		profiler.Params.M1 = *raters
+	}
+
+	profile, err := profiler.Profile(v)
+	if err != nil {
+		fail(err)
+	}
+	printProfile("two-step scheduler (pruned)", profile)
+
+	if *full {
+		fullProfile, err := profiler.ProfileFull(v)
+		if err != nil {
+			fail(err)
+		}
+		printProfile("full enumeration (no pruning)", fullProfile)
+		fmt.Printf("pruning saves %.1f%% of cost\n", 100*(1-profile.CostUSD/fullProfile.CostUSD))
+	}
+}
+
+func printProfile(label string, p *sensei.Profile) {
+	fmt.Printf("== %s: %s ==\n", p.VideoName, label)
+	fmt.Printf("cost: $%.1f total ($%.1f per minute of video)\n", p.CostUSD, p.CostPerMinuteUSD)
+	fmt.Printf("delay: %.0f minutes, %d participants, %d rated clips, %d rejected raters\n",
+		p.DelayMinutes, p.Participants, p.RatedRenderings, p.RejectedRaters)
+	if len(p.StepTwoChunks) > 0 {
+		fmt.Printf("step-two chunks: %v\n", p.StepTwoChunks)
+	}
+	fmt.Println("per-chunk sensitivity weights (one bar per 4-second chunk):")
+	for i, w := range p.Weights {
+		bar := strings.Repeat("#", int(w*20))
+		fmt.Printf("  chunk %3d [%3ds] %5.2f %s\n", i, i*4, w, bar)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "profiler:", err)
+	os.Exit(1)
+}

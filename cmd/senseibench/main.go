@@ -1,0 +1,86 @@
+// Command senseibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	senseibench [-mode quick|full] [experiment ...]
+//
+// With no arguments it runs every experiment. Experiment ids: table1, fig1,
+// fig2, fig3, fig4, fig5, fig6, fig12a, fig12b, fig12c, fig13, fig14,
+// fig15, fig16, fig17, fig18, fig20, sanity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sensei/internal/experiments"
+)
+
+// renderer is anything an experiment runner returns.
+type renderer interface{ Render() string }
+
+func main() {
+	mode := flag.String("mode", "quick", "experiment scale: quick or full")
+	flag.Parse()
+
+	var labMode experiments.Mode
+	switch *mode {
+	case "quick":
+		labMode = experiments.Quick
+	case "full":
+		labMode = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "senseibench: unknown mode %q (want quick or full)\n", *mode)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(labMode)
+
+	runners := map[string]func() (renderer, error){
+		"table1":    func() (renderer, error) { return lab.Table1(), nil },
+		"fig1":      func() (renderer, error) { return lab.Fig1() },
+		"fig2":      func() (renderer, error) { return lab.Fig2() },
+		"fig3":      func() (renderer, error) { return lab.Fig3() },
+		"fig4":      func() (renderer, error) { return lab.Fig4() },
+		"fig5":      func() (renderer, error) { return lab.Fig5() },
+		"fig6":      func() (renderer, error) { return lab.Fig6() },
+		"fig12a":    func() (renderer, error) { return lab.Fig12a() },
+		"fig12b":    func() (renderer, error) { return lab.Fig12b() },
+		"fig12c":    func() (renderer, error) { return lab.Fig12c() },
+		"fig13":     func() (renderer, error) { return lab.Fig13() },
+		"fig14":     func() (renderer, error) { return lab.Fig14() },
+		"fig15":     func() (renderer, error) { return lab.Fig15() },
+		"fig16":     func() (renderer, error) { return lab.Fig16() },
+		"fig17":     func() (renderer, error) { return lab.Fig17() },
+		"fig18":     func() (renderer, error) { return lab.Fig18() },
+		"fig20":     func() (renderer, error) { return lab.Fig20() },
+		"sanity":    func() (renderer, error) { return lab.Sanity() },
+		"appendixb": func() (renderer, error) { return lab.AppendixB() },
+	}
+	order := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig20", "sanity", "appendixb",
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "senseibench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

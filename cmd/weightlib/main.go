@@ -1,0 +1,92 @@
+// Command weightlib profiles catalog videos and writes a persisted weight
+// library — the artifact a video-management system would attach to its
+// catalog and feed into manifest generation (Fig 7 of the paper).
+//
+// Usage:
+//
+//	weightlib [-out weights.json] [-videos Soccer1,Tank] [-pop 30000]
+//	weightlib -verify weights.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensei"
+	"sensei/internal/crowd"
+	"sensei/internal/video"
+)
+
+func main() {
+	out := flag.String("out", "weights.json", "output path for the weight library")
+	names := flag.String("videos", "", "comma-separated catalog names (default: whole catalog)")
+	popSize := flag.Int("pop", 30000, "rater population size")
+	verify := flag.String("verify", "", "validate an existing library file and exit")
+	flag.Parse()
+
+	if *verify != "" {
+		f, err := os.Open(*verify)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		lib, err := crowd.ReadWeightLibrary(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("library OK: %d videos\n", len(lib.Weights))
+		for name, w := range lib.Weights {
+			fmt.Printf("  %-14s %d chunks\n", name, len(w))
+		}
+		return
+	}
+
+	var videos []*video.Video
+	if *names == "" {
+		videos = sensei.VideoCatalog()
+	} else {
+		for _, name := range strings.Split(*names, ",") {
+			v, err := sensei.VideoByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			videos = append(videos, v)
+		}
+	}
+
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: *popSize, Seed: 0x717})
+	if err != nil {
+		fail(err)
+	}
+	profiler := sensei.NewProfiler(pop)
+
+	lib := &crowd.WeightLibrary{Weights: map[string][]float64{}}
+	var totalCost float64
+	for _, v := range videos {
+		p, err := profiler.Profile(v)
+		if err != nil {
+			fail(fmt.Errorf("profiling %s: %w", v.Name, err))
+		}
+		lib.Weights[v.Name] = p.Weights
+		totalCost += p.CostUSD
+		fmt.Printf("profiled %-14s %3d chunks  $%6.1f  ($%.1f/min)\n",
+			v.Name, len(p.Weights), p.CostUSD, p.CostPerMinuteUSD)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := lib.Save(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %d videos, total campaign cost $%.1f\n", *out, len(lib.Weights), totalCost)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "weightlib:", err)
+	os.Exit(1)
+}

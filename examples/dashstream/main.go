@@ -1,0 +1,75 @@
+// Dashstream: the §6 integration demo end to end over real TCP — a DASH
+// server with trace-shaped egress and a weight-extended manifest, and a
+// client that parses the SenseiWeights extension and drives SENSEI's ABR
+// with an MSE-style delayed buffer sink.
+//
+//	go run ./examples/dashstream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sensei"
+)
+
+func main() {
+	full, err := sensei.VideoByName("BigBuckBunny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A two-minute excerpt keeps the demo snappy at timescale 0.005.
+	v, err := full.Excerpt(0, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sensei.NewProfiler(pop).Profile(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: $%.1f/min\n", v.Name, profile.CostPerMinuteUSD)
+
+	const timescale = 0.005 // 200x faster than real time
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "isp", Kind: sensei.TraceFCC, MeanBps: 1.8e6, Seconds: 900, Seed: 51,
+	})
+	shaper, err := sensei.NewDASHShaper(tr, timescale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := sensei.NewDASHServer(v, profile.Weights, shaper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server on http://%s, bottleneck %.1f Mbps (timescale %.3f)\n", addr, tr.Mean()/1e6, timescale)
+
+	client := &sensei.DASHClient{
+		BaseURL:   "http://" + addr,
+		Algorithm: sensei.NewSenseiFugu(),
+		TimeScale: timescale,
+	}
+	sess, err := client.Stream(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("streamed %d chunks over TCP: %.1f MB, %.1f virtual seconds rebuffering\n",
+		v.NumChunks(), float64(sess.BytesDownloaded)/1e6, sess.RebufferVirtualSec)
+	if sess.Weights == nil {
+		log.Fatal("manifest weights did not survive the round trip")
+	}
+	fmt.Printf("manifest delivered %d weights; weighted QoE %.3f, true QoE %.3f\n",
+		len(sess.Weights),
+		sensei.WeightedSessionQoE(sess.Rendering, sess.Weights),
+		sensei.TrueQoE(sess.Rendering))
+}

@@ -1,0 +1,80 @@
+// Lowbandwidth: the bandwidth-savings story of Fig 12b. For a target QoE,
+// sweep the bottleneck bandwidth downward and find the minimum each
+// algorithm needs — SENSEI reaches the target on less bandwidth because it
+// spends quality only where users notice.
+//
+//	go run ./examples/lowbandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sensei"
+)
+
+func main() {
+	v, err := sensei.VideoByName("FPS1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sensei.NewProfiler(pop).Profile(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "home-wifi", Kind: sensei.TraceFCC, MeanBps: 3.2e6, Seconds: 900, Seed: 41,
+	})
+
+	const target = 0.70
+	fmt.Printf("video %s, target true QoE %.2f\n\n", v.Name, target)
+	fmt.Printf("%-7s %10s %10s %10s\n", "scale", "Fugu", "SENSEI", "BBA")
+
+	type curvePoint struct{ fugu, sensei, bba float64 }
+	scales := []int{100, 85, 70, 55, 40, 25}
+	points := map[int]curvePoint{}
+	for _, sc := range scales {
+		tr := base.Scaled(float64(sc) / 100)
+		rf, err := sensei.Stream(v, tr, sensei.NewFugu(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := sensei.Stream(v, tr, sensei.NewSenseiFugu(), profile.Weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb, err := sensei.Stream(v, tr, sensei.NewBBA(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := curvePoint{
+			fugu:   sensei.TrueQoE(rf.Rendering),
+			sensei: sensei.TrueQoE(rs.Rendering),
+			bba:    sensei.TrueQoE(rb.Rendering),
+		}
+		points[sc] = p
+		fmt.Printf("%-6d%% %10.3f %10.3f %10.3f\n", sc, p.fugu, p.sensei, p.bba)
+	}
+
+	need := func(pick func(curvePoint) float64) int {
+		min := scales[0]
+		for _, sc := range scales {
+			if pick(points[sc]) >= target && sc < min {
+				min = sc
+			}
+		}
+		return min
+	}
+	nf := need(func(p curvePoint) float64 { return p.fugu })
+	ns := need(func(p curvePoint) float64 { return p.sensei })
+	nb := need(func(p curvePoint) float64 { return p.bba })
+	fmt.Printf("\nminimum bandwidth scale to reach QoE %.2f: Fugu %d%%, SENSEI %d%%, BBA %d%%\n", target, nf, ns, nb)
+	if ns < nf {
+		fmt.Printf("SENSEI saves %.0f%% bandwidth vs Fugu at the same QoE\n", 100*float64(nf-ns)/float64(nf))
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: profile a video's dynamic quality sensitivity with the
+// simulated crowd, then stream it with SENSEI's weighted MPC and compare
+// against the buffer-based baseline on the same network trace.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sensei"
+)
+
+func main() {
+	// 1. Pick a source video from the paper's test set (Table 1).
+	v, err := sensei.VideoByName("Soccer1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video: %s (%s, %d chunks of 4s)\n", v.Name, v.Genre, v.NumChunks())
+
+	// 2. Profile its per-chunk quality sensitivity via the crowdsourcing
+	// pipeline (§4): windowed clips with injected incidents, rated by a
+	// simulated MTurk population, weights inferred by regression.
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sensei.NewProfiler(pop).Profile(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d chunks for $%.1f ($%.1f per minute of video)\n",
+		len(profile.Weights), profile.CostUSD, profile.CostPerMinuteUSD)
+
+	// 3. Stream over a constrained cellular-like trace with SENSEI-Fugu
+	// (weighted objective + proactive rebuffering) vs plain BBA and Fugu.
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "cellular", Kind: sensei.TraceHSDPA, MeanBps: 1.2e6, Seconds: 900, Seed: 21,
+	})
+	for _, run := range []struct {
+		alg     sensei.Algorithm
+		weights []float64
+	}{
+		{sensei.NewBBA(), nil},
+		{sensei.NewFugu(), nil},
+		{sensei.NewSenseiFugu(), profile.Weights},
+	} {
+		res, err := sensei.Stream(v, tr, run.alg, run.weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s trueQoE=%.3f meanBitrate=%4.0fkbps rebuffer=%4.1fs switches=%d\n",
+			run.alg.Name(), sensei.TrueQoE(res.Rendering),
+			res.Rendering.MeanBitrateKbps(), res.RebufferSec, res.Rendering.SwitchCount())
+	}
+}

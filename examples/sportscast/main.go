@@ -1,0 +1,107 @@
+// Sportscast: the paper's motivating scenario (Fig 11). A soccer broadcast
+// has a goal moment users watch intently; SENSEI aligns quality with it —
+// lowering bitrate or even proactively rebuffering during routine gameplay
+// so the goal plays smoothly at high quality.
+//
+//	go run ./examples/sportscast
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sensei"
+)
+
+func main() {
+	v, err := sensei.VideoByName("Soccer1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := sensei.NewProfiler(pop).Profile(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the most sensitive stretch — the "shoot & goal" moment.
+	peak := 0
+	for i, w := range profile.Weights {
+		if w > profile.Weights[peak] {
+			peak = i
+		}
+	}
+	fmt.Printf("most sensitive moment: chunk %d (t=%ds), weight %.2f\n",
+		peak, peak*4, profile.Weights[peak])
+
+	// A constrained link that cannot sustain high quality everywhere.
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "stadium-cell", Kind: sensei.TraceHSDPA, MeanBps: 1.4e6, Seconds: 900, Seed: 31,
+	})
+
+	fugu, err := sensei.Stream(v, tr, sensei.NewFugu(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sens, err := sensei.Stream(v, tr, sensei.NewSenseiFugu(), profile.Weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-14s %8s %8s\n", "", "Fugu", "SENSEI")
+	fmt.Printf("%-14s %8.3f %8.3f\n", "true QoE", sensei.TrueQoE(fugu.Rendering), sensei.TrueQoE(sens.Rendering))
+	fmt.Printf("%-14s %7.0fk %7.0fk\n", "mean bitrate", fugu.Rendering.MeanBitrateKbps(), sens.Rendering.MeanBitrateKbps())
+	fmt.Printf("%-14s %7.1fs %7.1fs\n", "rebuffering", fugu.RebufferSec, sens.RebufferSec)
+	fmt.Printf("%-14s %7.1fs %7.1fs\n", "  proactive", fugu.ProactiveStallSec, sens.ProactiveStallSec)
+
+	// Show the alignment around the goal: delivered rung per chunk in a
+	// window around the peak, annotated with the sensitivity weight.
+	lo, hi := peak-4, peak+4
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.NumChunks()-1 {
+		hi = v.NumChunks() - 1
+	}
+	fmt.Println("\ndelivery around the goal (rung 0=300k ... 4=2850k):")
+	fmt.Printf("%-8s %-10s %-12s %-12s\n", "chunk", "weight", "Fugu rung", "SENSEI rung")
+	for i := lo; i <= hi; i++ {
+		mark := ""
+		if i == peak {
+			mark = "  <- goal"
+		}
+		fmt.Printf("%-8d %-10.2f %-12s %-12s%s\n", i, profile.Weights[i],
+			rungBar(fugu.Rendering.Rungs[i]), rungBar(sens.Rendering.Rungs[i]), mark)
+	}
+
+	hiW, loW := avgRungBySensitivity(profile.Weights, sens.Rendering.Rungs)
+	fmt.Printf("\nSENSEI mean rung at high-sensitivity chunks: %.2f, at low: %.2f\n", hiW, loW)
+}
+
+func rungBar(r int) string {
+	return fmt.Sprintf("%d %s", r, strings.Repeat("*", r+1))
+}
+
+func avgRungBySensitivity(w []float64, rungs []int) (hi, lo float64) {
+	var hiN, loN float64
+	for i := range w {
+		if w[i] > 1.2 {
+			hi += float64(rungs[i])
+			hiN++
+		} else if w[i] < 0.8 {
+			lo += float64(rungs[i])
+			loN++
+		}
+	}
+	if hiN > 0 {
+		hi /= hiN
+	}
+	if loN > 0 {
+		lo /= loN
+	}
+	return hi, lo
+}

@@ -1,0 +1,242 @@
+package sensei_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sensei"
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/mos"
+	"sensei/internal/player"
+	"sensei/internal/qoe"
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// TestPipelineWeightsPredictFreshRenderings is the system's core claim as
+// one test: weights profiled from crowdsourced ratings of *incident clips*
+// must make the SENSEI QoE model accurate on *unrelated ABR renderings* of
+// the same video.
+func TestPipelineWeightsPredictFreshRenderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is slow")
+	}
+	full, err := video.ByName("Wrestling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 20000, Seed: 0x1407})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := crowd.NewProfiler(pop).Profile(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := qoe.NewSenseiModel(&qoe.KSQI{}, map[string][]float64{v.Name: profile.Weights})
+	blind := qoe.NewSenseiModel(&qoe.KSQI{}, map[string][]float64{v.Name: uniform(v.NumChunks())})
+
+	// Fresh renderings the profiler never saw: random ABR-like deliveries.
+	rng := stats.NewRNG(0x1408)
+	var pWeighted, pBlind, truth []float64
+	for i := 0; i < 60; i++ {
+		r := qoe.NewRendering(v)
+		for c := range r.Rungs {
+			r.Rungs[c] = rng.Intn(len(v.Ladder))
+		}
+		if rng.Bool(0.5) {
+			r.StallSec[rng.Intn(v.NumChunks())] = float64(1 + rng.Intn(2))
+		}
+		pWeighted = append(pWeighted, model.Predict(r))
+		pBlind = append(pBlind, blind.Predict(r))
+		truth = append(truth, mos.TrueQoE(r))
+	}
+	rWeighted := stats.Pearson(pWeighted, truth)
+	rBlind := stats.Pearson(pBlind, truth)
+	if rWeighted < 0.85 {
+		t.Fatalf("profiled-weight model PLCC %.2f too low", rWeighted)
+	}
+	if rWeighted <= rBlind {
+		t.Fatalf("profiled weights (%.3f) no better than uniform weights (%.3f)", rWeighted, rBlind)
+	}
+}
+
+func uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// TestPipelineDeterminism re-runs profiling and streaming end to end and
+// demands bit-identical outputs — the property the experiment harness
+// depends on.
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is slow")
+	}
+	run := func() ([]float64, []int) {
+		full, err := video.ByName("Girl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := full.Excerpt(0, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 8000, Seed: 0x1409})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := crowd.NewProfiler(pop).Profile(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Generate(trace.GenSpec{Name: "d", Kind: trace.KindHSDPA, MeanBps: 1.1e6, Seconds: 600, Seed: 3})
+		res, err := player.Play(v, tr, abr.NewSenseiFugu(), p.Weights, player.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Weights, res.Rendering.Rungs
+	}
+	w1, r1 := run()
+	w2, r2 := run()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("weight %d diverged: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("rung %d diverged", i)
+		}
+	}
+}
+
+// TestWeightLibraryFeedsManifest exercises the deployment path: profile →
+// persist library → build manifest → client-side parse → ABR consumption.
+func TestWeightLibraryFeedsManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is slow")
+	}
+	full, err := video.ByName("Space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 8000, Seed: 0x140a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := crowd.NewProfiler(pop).Profile(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload the library, as a video-management system would.
+	lib := &crowd.WeightLibrary{Weights: map[string][]float64{v.Name: p.Weights}}
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crowd.ReadWeightLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest round trip.
+	mpd, err := sensei.BuildMPD(v, loaded.Weights[v.Name])
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := mpd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = encoded
+
+	weights, err := mpd.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The parsed weights must drive the ABR identically to the originals.
+	tr := trace.Generate(trace.GenSpec{Name: "m", Kind: trace.KindFCC, MeanBps: 1.5e6, Seconds: 600, Seed: 9})
+	a, err := player.Play(v, tr, abr.NewSenseiFugu(), p.Weights, player.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := player.Play(v, tr, abr.NewSenseiFugu(), weights, player.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rendering.Rungs {
+		if a.Rendering.Rungs[i] != b.Rendering.Rungs[i] {
+			t.Fatalf("manifest-carried weights changed decisions at chunk %d", i)
+		}
+	}
+}
+
+// TestAllAlgorithmsProduceValidSessions fuzzes every ABR over varied
+// traces and checks session invariants.
+func TestAllAlgorithmsProduceValidSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is slow")
+	}
+	full, err := video.ByName("Discus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := v.TrueSensitivity()
+	algos := []struct {
+		alg player.Algorithm
+		w   []float64
+	}{
+		{abr.NewBBA(), nil},
+		{abr.NewBOLA(), nil},
+		{abr.NewFugu(), nil},
+		{abr.NewSenseiFugu(), w},
+		{abr.NewPensieve(3), nil},
+		{abr.NewSenseiPensieve(3), w},
+	}
+	rng := stats.NewRNG(0x140b)
+	for trial := 0; trial < 6; trial++ {
+		kind := trace.KindFCC
+		if rng.Bool(0.5) {
+			kind = trace.KindHSDPA
+		}
+		tr := trace.Generate(trace.GenSpec{
+			Name: "fuzz", Kind: kind, MeanBps: rng.Range(0.4e6, 6e6), Seconds: 400, Seed: rng.Uint64(),
+		})
+		for _, a := range algos {
+			res, err := player.Play(v, tr, a.alg, a.w, player.Config{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.alg.Name(), tr.Name, err)
+			}
+			if err := res.Rendering.Validate(); err != nil {
+				t.Fatalf("%s produced invalid rendering: %v", a.alg.Name(), err)
+			}
+			if q := mos.TrueQoE(res.Rendering); q < 0 || q > 1 {
+				t.Fatalf("%s QoE %v out of range", a.alg.Name(), q)
+			}
+			if res.RebufferSec < 0 || res.BitsDownloaded <= 0 {
+				t.Fatalf("%s produced nonsense session %+v", a.alg.Name(), res)
+			}
+		}
+	}
+}

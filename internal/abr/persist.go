@@ -1,0 +1,88 @@
+package abr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file persists trained Pensieve policies as JSON so agents can be
+// trained once and shipped — the operational shape of the paper's system,
+// where the retrained DNN is a deployment artifact.
+
+// policyJSON is the stable wire form of a trained policy.
+type policyJSON struct {
+	Version     int         `json:"version"`
+	Sensitivity bool        `json:"sensitivity"`
+	Horizon     int         `json:"horizon"`
+	Hidden      int         `json:"hidden"`
+	Seed        uint64      `json:"seed"`
+	Weights     [][]float64 `json:"weights"`
+}
+
+// policyVersion guards against incompatible layouts.
+const policyVersion = 1
+
+// SavePolicy serializes the trained policy. It fails on an untrained or
+// uninitialized agent, because persisting a random network is always a bug.
+func (p *Pensieve) SavePolicy(w io.Writer) error {
+	if p.policy == nil || !p.trained {
+		return fmt.Errorf("abr: refusing to save an untrained policy")
+	}
+	hidden := p.Hidden
+	if hidden <= 0 {
+		hidden = 48
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(policyJSON{
+		Version:     policyVersion,
+		Sensitivity: p.Sensitivity,
+		Horizon:     p.Horizon,
+		Hidden:      hidden,
+		Seed:        p.Seed,
+		Weights:     p.policy.Snapshot(),
+	}); err != nil {
+		return fmt.Errorf("abr: encoding policy: %w", err)
+	}
+	return nil
+}
+
+// LoadPolicy reconstructs a trained agent from SavePolicy output.
+func LoadPolicy(r io.Reader) (*Pensieve, error) {
+	var pj policyJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("abr: decoding policy: %w", err)
+	}
+	if pj.Version != policyVersion {
+		return nil, fmt.Errorf("abr: policy version %d, want %d", pj.Version, policyVersion)
+	}
+	if pj.Horizon <= 0 || pj.Hidden <= 0 {
+		return nil, fmt.Errorf("abr: policy has invalid dims horizon=%d hidden=%d", pj.Horizon, pj.Hidden)
+	}
+	p := &Pensieve{
+		Sensitivity: pj.Sensitivity,
+		Horizon:     pj.Horizon,
+		Hidden:      pj.Hidden,
+		Seed:        pj.Seed,
+		Quality:     NewPensieve(0).Quality,
+	}
+	if err := p.ensurePolicy(); err != nil {
+		return nil, err
+	}
+	// Restore panics on shape mismatch; convert to an error for callers
+	// feeding us foreign files.
+	var restoreErr error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				restoreErr = fmt.Errorf("abr: policy weights incompatible: %v", rec)
+			}
+		}()
+		p.policy.Restore(pj.Weights)
+	}()
+	if restoreErr != nil {
+		return nil, restoreErr
+	}
+	p.trained = true
+	return p, nil
+}

@@ -1,0 +1,71 @@
+package abr
+
+import (
+	"testing"
+
+	"sensei/internal/player"
+)
+
+func TestRateRuleTracksThroughput(t *testing.T) {
+	v := testVideo(t)
+	r := NewRateRule()
+	// Full-window stable history at 4 Mbps: budget 3.2 Mbps → rung below
+	// 2850 kbps but above 1850 kbps → rung 3.
+	hist := []float64{4e6, 4e6, 4e6, 4e6, 4e6}
+	d := r.Decide(&player.State{Video: v, ThroughputBps: hist, LastRung: 3})
+	if d.Rung != 3 {
+		t.Fatalf("rung %d at stable 4 Mbps, want 3", d.Rung)
+	}
+	// 0.5 Mbps: only the bottom rung fits.
+	slow := []float64{0.5e6, 0.5e6, 0.5e6, 0.5e6, 0.5e6}
+	d = r.Decide(&player.State{Video: v, ThroughputBps: slow, LastRung: 1})
+	if d.Rung != 0 {
+		t.Fatalf("rung %d at 0.5 Mbps, want 0", d.Rung)
+	}
+}
+
+func TestRateRuleClimbsOneRungAtATime(t *testing.T) {
+	v := testVideo(t)
+	r := NewRateRule()
+	fast := []float64{10e6, 10e6, 10e6, 10e6, 10e6}
+	d := r.Decide(&player.State{Video: v, ThroughputBps: fast, LastRung: 1})
+	if d.Rung != 2 {
+		t.Fatalf("rung %d after rung 1 on a fast link, want 2 (one-step climb)", d.Rung)
+	}
+}
+
+func TestRateRuleDownSwitchImmediate(t *testing.T) {
+	v := testVideo(t)
+	r := NewRateRule()
+	slow := []float64{0.6e6, 0.6e6, 0.6e6, 0.6e6, 0.6e6}
+	d := r.Decide(&player.State{Video: v, ThroughputBps: slow, LastRung: 4})
+	if d.Rung != 0 {
+		t.Fatalf("rung %d after collapse, want immediate drop to 0", d.Rung)
+	}
+}
+
+func TestRateRuleZeroValueUsable(t *testing.T) {
+	v := testVideo(t)
+	var r RateRule
+	d := r.Decide(&player.State{Video: v, LastRung: -1})
+	if d.Rung < 0 || d.Rung >= len(v.Ladder) {
+		t.Fatalf("rung %d", d.Rung)
+	}
+	if d.PreStallSec != 0 {
+		t.Fatal("rate rule must never proactively stall")
+	}
+}
+
+func TestRateRuleStreamsReasonably(t *testing.T) {
+	v := testVideo(t)
+	res, err := player.Play(v, flatTrace(2.5e6, 3600), NewRateRule(), nil, player.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferSec > 2 {
+		t.Fatalf("rate rule rebuffered %.1fs on a stable link", res.RebufferSec)
+	}
+	if res.Rendering.MeanBitrateKbps() < 700 {
+		t.Fatalf("mean bitrate %.0f too conservative for 2.5 Mbps", res.Rendering.MeanBitrateKbps())
+	}
+}

@@ -1,0 +1,90 @@
+// Package crowd implements SENSEI's per-video QoE profiling pipeline (§4):
+// scheduling rendered videos with injected low-quality incidents, collecting
+// MOS ratings from a (simulated) crowdsourcing platform, inferring per-chunk
+// sensitivity weights by regularized regression, and accounting for the
+// dollar cost and wall-clock delay of each campaign.
+package crowd
+
+import (
+	"fmt"
+
+	"sensei/internal/qoe"
+	"sensei/internal/video"
+)
+
+// IncidentKind labels the low-quality incident injected into a rendering.
+type IncidentKind string
+
+// Incident kinds used by the study (§2.3: rebuffering events and bitrate
+// drops).
+const (
+	KindRebuffer    IncidentKind = "rebuffer"
+	KindBitrateDrop IncidentKind = "bitrate-drop"
+)
+
+// Incident describes one low-quality incident to inject at a chunk.
+type Incident struct {
+	// Kind selects rebuffering or a bitrate drop.
+	Kind IncidentKind
+	// StallSec is the rebuffering duration (rebuffer incidents).
+	StallSec float64
+	// Rung is the drop target ladder index (bitrate-drop incidents).
+	Rung int
+	// DropChunks is how many consecutive chunks the drop lasts (bitrate
+	// drops; default 1, the paper uses a 4-second drop = one chunk).
+	DropChunks int
+}
+
+// String renders the incident for logs and experiment tables.
+func (inc Incident) String() string {
+	if inc.Kind == KindRebuffer {
+		return fmt.Sprintf("%.0fs-rebuffer", inc.StallSec)
+	}
+	return fmt.Sprintf("drop-to-rung%d", inc.Rung)
+}
+
+// Apply returns a rendering of v at top quality except for the incident
+// injected at the given chunk. It returns an error for invalid positions or
+// incident parameters.
+func (inc Incident) Apply(v *video.Video, chunk int) (*qoe.Rendering, error) {
+	if chunk < 0 || chunk >= v.NumChunks() {
+		return nil, fmt.Errorf("crowd: incident chunk %d outside video %q (%d chunks)", chunk, v.Name, v.NumChunks())
+	}
+	r := qoe.NewRendering(v)
+	switch inc.Kind {
+	case KindRebuffer:
+		if inc.StallSec <= 0 {
+			return nil, fmt.Errorf("crowd: rebuffer incident with stall %v", inc.StallSec)
+		}
+		r.StallSec[chunk] = inc.StallSec
+	case KindBitrateDrop:
+		if inc.Rung < 0 || inc.Rung >= len(v.Ladder)-1 {
+			return nil, fmt.Errorf("crowd: drop rung %d must be below the top of a %d-rung ladder", inc.Rung, len(v.Ladder))
+		}
+		n := inc.DropChunks
+		if n <= 0 {
+			n = 1
+		}
+		for k := chunk; k < chunk+n && k < v.NumChunks(); k++ {
+			r.Rungs[k] = inc.Rung
+		}
+	default:
+		return nil, fmt.Errorf("crowd: unknown incident kind %q", inc.Kind)
+	}
+	return r, nil
+}
+
+// VideoSeries builds the paper's "video series" construct (§2.3): one
+// rendering per chunk position, all sharing the same incident. Fig 1 and
+// Fig 4 are computed over such series.
+func VideoSeries(v *video.Video, inc Incident) ([]*qoe.Rendering, error) {
+	out := make([]*qoe.Rendering, v.NumChunks())
+	for i := range out {
+		r, err := inc.Apply(v, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

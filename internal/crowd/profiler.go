@@ -1,0 +1,303 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+
+	"sensei/internal/mos"
+	"sensei/internal/qoe"
+	"sensei/internal/video"
+)
+
+// SchedulerParams are the knobs of the two-step rendered-video scheduler
+// (§4.3), with the paper's empirically chosen defaults.
+type SchedulerParams struct {
+	// M1 is the raters per rendering in step one (default 10).
+	M1 int
+	// M2 is the raters per rendering in step two (default 5).
+	M2 int
+	// BitrateLevels is B, the number of drop rungs probed in step two
+	// (default 2).
+	BitrateLevels int
+	// RebufferLevels is F, the number of rebuffer durations probed in step
+	// two: 1s, 2s, ... (default 1).
+	RebufferLevels int
+	// Alpha is the weight-deviation threshold for selecting step-two
+	// chunks: chunks with |w−1| > Alpha are investigated (default 0.06).
+	Alpha float64
+	// RidgeLambda regularizes weight inference (default 0.05).
+	RidgeLambda float64
+}
+
+// DefaultSchedulerParams returns the paper's chosen sweet spot: B=2, F=1,
+// M1=10, M2=5, α=6%.
+func DefaultSchedulerParams() SchedulerParams {
+	return SchedulerParams{M1: 10, M2: 5, BitrateLevels: 2, RebufferLevels: 1, Alpha: 0.06, RidgeLambda: 0.05}
+}
+
+func (p *SchedulerParams) defaults() {
+	if p.M1 <= 0 {
+		p.M1 = 10
+	}
+	if p.M2 <= 0 {
+		p.M2 = 5
+	}
+	if p.BitrateLevels <= 0 {
+		p.BitrateLevels = 2
+	}
+	if p.RebufferLevels <= 0 {
+		p.RebufferLevels = 1
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 0.06
+	}
+	if p.RidgeLambda <= 0 {
+		p.RidgeLambda = 0.05
+	}
+}
+
+// Profile is the result of profiling one video: the inferred sensitivity
+// weights plus the campaign's bill.
+type Profile struct {
+	// VideoName identifies the profiled source video.
+	VideoName string
+	// Weights are the inferred per-chunk sensitivity weights (mean 1).
+	Weights []float64
+	// CostUSD is the total crowdsourcing payout.
+	CostUSD float64
+	// CostPerMinuteUSD normalizes cost by video length (the paper reports
+	// $31.4 per minute of video with pruning).
+	CostPerMinuteUSD float64
+	// DelayMinutes estimates campaign wall-clock time.
+	DelayMinutes float64
+	// Participants is the number of distinct raters recruited.
+	Participants int
+	// RatedRenderings is how many rendered videos were rated.
+	RatedRenderings int
+	// RejectedRaters counts integrity-check rejections.
+	RejectedRaters int
+	// StepTwoChunks lists the chunks selected for step-two investigation.
+	StepTwoChunks []int
+}
+
+// Profiler runs §4's pipeline against a rater population.
+type Profiler struct {
+	// Population supplies the raters.
+	Population *mos.Population
+	// Params tunes the two-step scheduler.
+	Params SchedulerParams
+	// Cost prices the campaign.
+	Cost CostModel
+	// Quality is the per-chunk kernel used in weight inference.
+	Quality qoe.QualityParams
+}
+
+// NewProfiler returns a Profiler with the paper's default parameters.
+func NewProfiler(pop *mos.Population) *Profiler {
+	return &Profiler{
+		Population: pop,
+		Params:     DefaultSchedulerParams(),
+		Cost:       DefaultCostModel(),
+		Quality:    qoe.DefaultQualityParams(),
+	}
+}
+
+// WindowChunks is the rating-clip length in chunks (24 seconds). Raters are
+// shown short clips around each probed chunk instead of whole videos: a
+// single incident on a 24-second clip moves MOS by tenths of the scale
+// (Fig 1), where the same incident diluted over minutes would drown in
+// rater noise — and short clips are what keep per-video profiling near the
+// paper's ~$31/minute price point.
+const WindowChunks = 6
+
+// windowStart returns the clip start so that chunk i sits inside a
+// WindowChunks-long window.
+func windowStart(v *video.Video, i int) int {
+	start := i - WindowChunks/3
+	if start < 0 {
+		start = 0
+	}
+	if start+WindowChunks > v.NumChunks() {
+		start = v.NumChunks() - WindowChunks
+		if start < 0 {
+			start = 0
+		}
+	}
+	return start
+}
+
+// rateWindow cuts the clip around chunk, injects the incident there, rates
+// it, and returns the regression row in the full video's chunk space.
+func (pr *Profiler) rateWindow(camp *Campaign, v *video.Video, chunk int, inc Incident, raters int) (weightRow, error) {
+	start := windowStart(v, chunk)
+	end := start + WindowChunks
+	if end > v.NumChunks() {
+		end = v.NumChunks()
+	}
+	clip, err := v.Excerpt(start, end)
+	if err != nil {
+		return weightRow{}, fmt.Errorf("crowd: window for chunk %d of %q: %w", chunk, v.Name, err)
+	}
+	r, err := inc.Apply(clip, chunk-start)
+	if err != nil {
+		return weightRow{}, err
+	}
+	rr, err := camp.Rate(r, raters)
+	if err != nil {
+		return weightRow{}, err
+	}
+	nWin := clip.NumChunks()
+	deficits := make([]float64, v.NumChunks())
+	for j := 0; j < nWin; j++ {
+		deficits[start+j] = qoe.ChunkDeficit(pr.Quality, r, j) / float64(nWin)
+	}
+	return weightRow{deficits: deficits, mos: rr.MOS}, nil
+}
+
+// stepTwoIncidents enumerates the incidents probed on selected chunks: B
+// bitrate drops (spread over the lower rungs) and F rebuffer durations.
+func stepTwoIncidents(v *video.Video, p SchedulerParams) []Incident {
+	var out []Incident
+	// Drop rungs spread across the ladder below the top, lowest first.
+	nRungs := len(v.Ladder) - 1
+	b := p.BitrateLevels
+	if b > nRungs {
+		b = nRungs
+	}
+	for k := 0; k < b; k++ {
+		rung := k * nRungs / b
+		out = append(out, Incident{Kind: KindBitrateDrop, Rung: rung, DropChunks: 1})
+	}
+	for f := 1; f <= p.RebufferLevels; f++ {
+		out = append(out, Incident{Kind: KindRebuffer, StallSec: float64(f)})
+	}
+	return out
+}
+
+// Profile runs the two-step scheduler on v and returns the inferred weights
+// and campaign accounting. Step one rates a windowed clip with a 1-second
+// rebuffer at every chunk (M1 raters each); step two re-probes the chunks
+// whose estimated weight deviates from average by more than α with B
+// bitrate drops and F rebuffer durations (M2 raters each).
+func (pr *Profiler) Profile(v *video.Video) (*Profile, error) {
+	params := pr.Params
+	params.defaults()
+	camp, err := NewCampaign(pr.Population, pr.Cost)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step one.
+	var rows []weightRow
+	for chunk := 0; chunk < v.NumChunks(); chunk++ {
+		row, err := pr.rateWindow(camp, v, chunk, Incident{Kind: KindRebuffer, StallSec: 1}, params.M1)
+		if err != nil {
+			return nil, fmt.Errorf("crowd: step one of %q: %w", v.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	weights, err := solveWeights(v.NumChunks(), rows, params.RidgeLambda)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step two: focus on chunks with clearly high or low sensitivity.
+	var probe []int
+	for i, w := range weights {
+		if math.Abs(w-1) > params.Alpha {
+			probe = append(probe, i)
+		}
+	}
+	if len(probe) > 0 {
+		incidents := stepTwoIncidents(v, params)
+		for _, chunk := range probe {
+			for _, inc := range incidents {
+				// Step one already covered the 1-second rebuffer.
+				if inc.Kind == KindRebuffer && inc.StallSec == 1 {
+					continue
+				}
+				row, err := pr.rateWindow(camp, v, chunk, inc, params.M2)
+				if err != nil {
+					return nil, fmt.Errorf("crowd: step two of %q: %w", v.Name, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+		weights, err = solveWeights(v.NumChunks(), rows, params.RidgeLambda)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return &Profile{
+		VideoName:        v.Name,
+		Weights:          weights,
+		CostUSD:          camp.CostUSD(),
+		CostPerMinuteUSD: camp.CostUSD() / (v.Duration().Minutes()),
+		DelayMinutes:     camp.DelayMinutes(),
+		Participants:     camp.Participants(),
+		RatedRenderings:  len(rows),
+		RejectedRaters:   camp.Rejected,
+		StepTwoChunks:    probe,
+	}, nil
+}
+
+// ProfileFull runs the unpruned strawman (Fig 12c's "w/o cost pruning"):
+// every chunk × every lower rung × rebuffer durations 1..5s, each windowed
+// clip rated by 30 raters, with weights inferred from the full set.
+func (pr *Profiler) ProfileFull(v *video.Video) (*Profile, error) {
+	params := pr.Params
+	params.defaults()
+	camp, err := NewCampaign(pr.Population, pr.Cost)
+	if err != nil {
+		return nil, err
+	}
+	const fullRaters = 30
+	var rows []weightRow
+	for chunk := 0; chunk < v.NumChunks(); chunk++ {
+		var incidents []Incident
+		for rung := 0; rung < len(v.Ladder)-1; rung++ {
+			incidents = append(incidents, Incident{Kind: KindBitrateDrop, Rung: rung, DropChunks: 1})
+		}
+		for stall := 1; stall <= 5; stall++ {
+			incidents = append(incidents, Incident{Kind: KindRebuffer, StallSec: float64(stall)})
+		}
+		for _, inc := range incidents {
+			row, err := pr.rateWindow(camp, v, chunk, inc, fullRaters)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	weights, err := solveWeights(v.NumChunks(), rows, params.RidgeLambda)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		VideoName:        v.Name,
+		Weights:          weights,
+		CostUSD:          camp.CostUSD(),
+		CostPerMinuteUSD: camp.CostUSD() / v.Duration().Minutes(),
+		DelayMinutes:     camp.DelayMinutes(),
+		Participants:     camp.Participants(),
+		RatedRenderings:  len(rows),
+		RejectedRaters:   camp.Rejected,
+	}, nil
+}
+
+// ProfileAll profiles every video, returning a name-indexed weight map
+// ready for qoe.NewSenseiModel, plus the per-video profiles.
+func (pr *Profiler) ProfileAll(videos []*video.Video) (map[string][]float64, []*Profile, error) {
+	weights := make(map[string][]float64, len(videos))
+	profiles := make([]*Profile, 0, len(videos))
+	for _, v := range videos {
+		p, err := pr.Profile(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crowd: profiling %q: %w", v.Name, err)
+		}
+		weights[v.Name] = p.Weights
+		profiles = append(profiles, p)
+	}
+	return weights, profiles, nil
+}

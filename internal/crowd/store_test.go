@@ -1,0 +1,82 @@
+package crowd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	v := shortVideo(t)
+	pr := NewProfiler(population(t, 3000, 71))
+	p, err := pr.Profile(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VideoName != p.VideoName || got.CostUSD != p.CostUSD || got.Participants != p.Participants {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, p)
+	}
+	if len(got.Weights) != len(p.Weights) {
+		t.Fatal("weight count mismatch")
+	}
+	for i := range p.Weights {
+		if got.Weights[i] != p.Weights[i] {
+			t.Fatalf("weight %d: %v vs %v", i, got.Weights[i], p.Weights[i])
+		}
+	}
+}
+
+func TestReadProfileRejectsCorruption(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version": 99, "video": "x", "weights": [1]}`,
+		`{"version": 1, "video": "", "weights": [1]}`,
+		`{"version": 1, "video": "x", "weights": []}`,
+		`{"version": 1, "video": "x", "weights": [-2]}`,
+		`{"version": 1, "video": "x", "weights": [99]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadProfile(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestWeightLibraryRoundTrip(t *testing.T) {
+	lib := &WeightLibrary{Weights: map[string][]float64{
+		"Soccer1": {0.8, 1.2, 1.5},
+		"Tank":    {1.0, 0.9},
+	}}
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeightLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Weights) != 2 || got.Weights["Soccer1"][2] != 1.5 {
+		t.Fatalf("library mismatch: %+v", got)
+	}
+}
+
+func TestReadWeightLibraryRejectsBadEntries(t *testing.T) {
+	cases := []string{
+		`{"weights": {"x": []}}`,
+		`{"weights": {"x": [0]}}`,
+		`{"weights": {"x": [11]}}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadWeightLibrary(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}

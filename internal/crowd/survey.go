@@ -1,0 +1,139 @@
+package crowd
+
+import (
+	"fmt"
+
+	"sensei/internal/mos"
+	"sensei/internal/qoe"
+	"sensei/internal/stats"
+)
+
+// This file models the survey mechanics of Appendix B: each participant is
+// assigned K rendered clips plus one pristine reference, shown in a
+// randomized order; ratings are rejected when the participant fails an
+// integrity check or rates a degraded clip above the reference. The
+// campaign engine's Rate path aggregates these effects statistically; the
+// Survey type makes the per-participant mechanics explicit so the
+// order-bias and rejection-rate analyses of Appendix B can be reproduced.
+
+// SurveyItem is one clip within a survey, with its rating outcome.
+type SurveyItem struct {
+	// Rendering is the clip the participant watched.
+	Rendering *qoe.Rendering
+	// Position is the 0-based viewing position after randomization.
+	Position int
+	// Reference marks the calibration clip.
+	Reference bool
+	// Rating is the Likert score (1-5); zero when the survey was rejected.
+	Rating int
+}
+
+// SurveyResult is one participant's completed (or rejected) survey.
+type SurveyResult struct {
+	// RaterID identifies the participant.
+	RaterID int
+	// Items lists the clips in viewing order.
+	Items []SurveyItem
+	// Rejected is true when the participant failed an integrity check or
+	// inverted the reference; rejected surveys are unpaid and excluded.
+	Rejected bool
+	// WatchedSeconds is the total watch time (paid only if accepted).
+	WatchedSeconds float64
+}
+
+// RunSurvey assigns the renderings plus a reference clip to the rater in
+// randomized order and collects ratings. The reference is a pristine
+// rendering of the first clip's video.
+func RunSurvey(rater *mos.Rater, renderings []*qoe.Rendering, rng *stats.RNG) (*SurveyResult, error) {
+	if len(renderings) == 0 {
+		return nil, fmt.Errorf("crowd: survey needs at least one rendering")
+	}
+	ref := qoe.NewRendering(renderings[0].Video)
+	clips := append([]*qoe.Rendering{ref}, renderings...)
+	order := rng.Perm(len(clips))
+
+	res := &SurveyResult{RaterID: rater.ID}
+	refRating := 0
+	for pos, idx := range order {
+		r := clips[idx]
+		res.WatchedSeconds += r.Video.Duration().Seconds() + r.TotalStallSec()
+		item := SurveyItem{Rendering: r, Position: pos, Reference: idx == 0}
+		if !rater.PassesIntegrityChecks() {
+			res.Rejected = true
+		}
+		item.Rating = rater.Rate(r)
+		if item.Reference {
+			refRating = item.Rating
+		}
+		res.Items = append(res.Items, item)
+	}
+	// Rejection criterion (Appendix B): any degraded clip rated above the
+	// reference invalidates the whole survey.
+	for _, item := range res.Items {
+		if !item.Reference && item.Rating > refRating {
+			res.Rejected = true
+		}
+	}
+	if res.Rejected {
+		for i := range res.Items {
+			res.Items[i].Rating = 0
+		}
+	}
+	return res, nil
+}
+
+// OrderBias measures the Appendix-B post-analysis: the correlation between
+// a clip's viewing position and its rating across accepted surveys of the
+// same clip set. Randomized ordering should keep it near zero.
+func OrderBias(surveys []*SurveyResult) float64 {
+	var positions, ratings []float64
+	for _, s := range surveys {
+		if s.Rejected {
+			continue
+		}
+		for _, item := range s.Items {
+			if item.Reference {
+				continue
+			}
+			positions = append(positions, float64(item.Position))
+			ratings = append(ratings, float64(item.Rating))
+		}
+	}
+	return stats.Pearson(positions, ratings)
+}
+
+// RejectionRates runs n surveys against the population and returns the
+// rejection rate among master and normal raters — the Appendix-C
+// comparison (masters reject ~4x less often).
+func RejectionRates(pop *mos.Population, renderings []*qoe.Rendering, n int, seed uint64) (master, normal float64, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("crowd: need at least one survey")
+	}
+	rng := stats.NewRNG(seed)
+	var masterN, masterRej, normalN, normalRej float64
+	for i := 0; i < n; i++ {
+		rater := pop.Rater(i % pop.Size())
+		s, err := RunSurvey(rater, renderings, rng.Fork())
+		if err != nil {
+			return 0, 0, err
+		}
+		if rater.Master {
+			masterN++
+			if s.Rejected {
+				masterRej++
+			}
+		} else {
+			normalN++
+			if s.Rejected {
+				normalRej++
+			}
+		}
+	}
+	if masterN > 0 {
+		master = masterRej / masterN
+	}
+	if normalN > 0 {
+		normal = normalRej / normalN
+	}
+	return master, normal, nil
+}

@@ -1,0 +1,129 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"sensei/internal/mos"
+	"sensei/internal/qoe"
+	"sensei/internal/stats"
+)
+
+func surveyClips(t *testing.T) []*qoe.Rendering {
+	t.Helper()
+	v := shortVideo(t)
+	clip, err := v.Excerpt(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*qoe.Rendering
+	for i := 0; i < 4; i++ {
+		out = append(out, qoe.NewRendering(clip).WithStall(i+1, 1))
+	}
+	return out
+}
+
+func TestRunSurveyBasics(t *testing.T) {
+	pop := population(t, 100, 81)
+	clips := surveyClips(t)
+	rng := stats.NewRNG(1)
+	s, err := RunSurvey(pop.Rater(0), clips, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != len(clips)+1 {
+		t.Fatalf("%d items, want %d clips + reference", len(s.Items), len(clips))
+	}
+	var refs int
+	positions := map[int]bool{}
+	for _, item := range s.Items {
+		if item.Reference {
+			refs++
+		}
+		if positions[item.Position] {
+			t.Fatal("duplicate viewing position")
+		}
+		positions[item.Position] = true
+		if !s.Rejected && (item.Rating < 1 || item.Rating > 5) {
+			t.Fatalf("rating %d out of scale", item.Rating)
+		}
+	}
+	if refs != 1 {
+		t.Fatalf("%d reference clips", refs)
+	}
+	if s.WatchedSeconds <= 0 {
+		t.Fatal("no watch time recorded")
+	}
+}
+
+func TestRunSurveyValidates(t *testing.T) {
+	pop := population(t, 10, 82)
+	if _, err := RunSurvey(pop.Rater(0), nil, stats.NewRNG(1)); err == nil {
+		t.Fatal("empty survey accepted")
+	}
+}
+
+func TestRunSurveyRejectionZeroesRatings(t *testing.T) {
+	pop := population(t, 500, 83)
+	clips := surveyClips(t)
+	rng := stats.NewRNG(2)
+	var sawRejected bool
+	for i := 0; i < 500 && !sawRejected; i++ {
+		s, err := RunSurvey(pop.Rater(i%pop.Size()), clips, rng.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Rejected {
+			sawRejected = true
+			for _, item := range s.Items {
+				if item.Rating != 0 {
+					t.Fatal("rejected survey kept ratings")
+				}
+			}
+		}
+	}
+	if !sawRejected {
+		t.Skip("no rejection observed in 500 surveys (rare but possible)")
+	}
+}
+
+func TestOrderBiasNearZero(t *testing.T) {
+	// Randomized ordering must keep position-rating correlation small —
+	// the Appendix-B post-analysis.
+	pop := population(t, 2000, 84)
+	clips := surveyClips(t)
+	rng := stats.NewRNG(3)
+	var surveys []*SurveyResult
+	for i := 0; i < 400; i++ {
+		s, err := RunSurvey(pop.Rater(i%pop.Size()), clips, rng.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		surveys = append(surveys, s)
+	}
+	if bias := OrderBias(surveys); math.Abs(bias) > 0.1 {
+		t.Fatalf("order bias %.3f too strong under randomization", bias)
+	}
+}
+
+func TestRejectionRatesMasterVsNormal(t *testing.T) {
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 2000, MasterFraction: 0.5, Seed: 87})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clips := surveyClips(t)
+	master, normal, err := RejectionRates(pop, clips, 3000, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal <= master {
+		t.Fatalf("normal rejection %.3f not above master %.3f (Appendix C)", normal, master)
+	}
+}
+
+func TestRejectionRatesValidates(t *testing.T) {
+	pop := population(t, 10, 86)
+	if _, _, err := RejectionRates(pop, surveyClips(t), 0, 1); err == nil {
+		t.Fatal("zero surveys accepted")
+	}
+}

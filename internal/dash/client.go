@@ -1,0 +1,177 @@
+package dash
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sensei/internal/player"
+	"sensei/internal/qoe"
+	"sensei/internal/video"
+)
+
+// Client streams a video from a Server, driving a player.Algorithm exactly
+// like the simulator does but over real TCP with wall-clock timing. It
+// implements §6's two integration points: parsing the SenseiWeights
+// manifest extension, and the MSE-style delayed source-buffer sink that
+// realizes proactive rebuffering by withholding a downloaded segment from
+// the playback buffer for a controlled delay.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:4123".
+	BaseURL string
+	// Algorithm is the ABR logic to drive.
+	Algorithm player.Algorithm
+	// TimeScale must match the server shaper's compression so buffer
+	// arithmetic happens in virtual seconds.
+	TimeScale float64
+	// HTTP is the client used for requests; http.DefaultClient when nil.
+	HTTP *http.Client
+	// MaxBufferSec caps the client buffer (default 60 virtual seconds).
+	MaxBufferSec float64
+}
+
+// Session is the outcome of one streamed playback.
+type Session struct {
+	// Rendering describes what was delivered, ready for QoE models.
+	Rendering *qoe.Rendering
+	// Weights are the manifest-carried sensitivity weights (nil if the
+	// manifest had none).
+	Weights []float64
+	// RebufferVirtualSec is stalled playback in virtual seconds.
+	RebufferVirtualSec float64
+	// BytesDownloaded counts segment payload traffic.
+	BytesDownloaded int64
+}
+
+// Stream plays the whole video for v and returns the session.
+func (c *Client) Stream(v *video.Video) (*Session, error) {
+	if c.Algorithm == nil {
+		return nil, fmt.Errorf("dash: client needs an algorithm")
+	}
+	scale := c.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	maxBuf := c.MaxBufferSec
+	if maxBuf <= 0 {
+		maxBuf = 60
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+
+	mpdBody, err := c.get(httpc, "/manifest.mpd")
+	if err != nil {
+		return nil, fmt.Errorf("dash: fetching manifest: %w", err)
+	}
+	mpd, err := ParseMPD(mpdBody)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := mpd.Weights()
+	if err != nil {
+		return nil, err
+	}
+	if weights != nil && len(weights) != v.NumChunks() {
+		return nil, fmt.Errorf("dash: manifest has %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+
+	n := v.NumChunks()
+	sess := &Session{
+		Weights: weights,
+		Rendering: &qoe.Rendering{
+			Video:    v,
+			Rungs:    make([]int, n),
+			StallSec: make([]float64, n),
+		},
+	}
+	chunkDur := video.ChunkDuration.Seconds()
+	buffer := 0.0 // virtual seconds
+	lastRung := -1
+	var thr, dls []float64
+
+	for i := 0; i < n; i++ {
+		st := &player.State{
+			Video:         v,
+			ChunkIndex:    i,
+			BufferSec:     buffer,
+			LastRung:      lastRung,
+			ThroughputBps: thr,
+			DownloadSec:   dls,
+			Weights:       weights,
+		}
+		d := c.Algorithm.Decide(st)
+		if d.Rung < 0 || d.Rung >= len(v.Ladder) {
+			return nil, fmt.Errorf("dash: %s chose rung %d", c.Algorithm.Name(), d.Rung)
+		}
+
+		// MSE-style delayed sink: withhold playback for the proactive
+		// stall while the download proceeds, crediting the buffer.
+		if d.PreStallSec > 0 && i > 0 {
+			buffer += d.PreStallSec
+			sess.Rendering.StallSec[i] += d.PreStallSec
+			sess.RebufferVirtualSec += d.PreStallSec
+		}
+
+		if buffer+chunkDur > maxBuf {
+			wait := buffer + chunkDur - maxBuf
+			time.Sleep(time.Duration(wait * scale * float64(time.Second)))
+			buffer -= wait
+		}
+
+		start := time.Now()
+		body, err := c.get(httpc, fmt.Sprintf("/segment/%d/%d", i, d.Rung))
+		if err != nil {
+			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
+		}
+		elapsedVirtual := time.Since(start).Seconds() / scale
+		sess.BytesDownloaded += int64(len(body))
+
+		if i > 0 {
+			if elapsedVirtual > buffer {
+				stall := elapsedVirtual - buffer
+				sess.Rendering.StallSec[i] += stall
+				sess.RebufferVirtualSec += stall
+				buffer = 0
+			} else {
+				buffer -= elapsedVirtual
+			}
+		}
+		buffer += chunkDur
+
+		sess.Rendering.Rungs[i] = d.Rung
+		lastRung = d.Rung
+		measured := float64(len(body)*8) / elapsedVirtual
+		thr = append(thr, measured)
+		if len(thr) > 8 {
+			thr = thr[1:]
+		}
+		dls = append(dls, elapsedVirtual)
+		if len(dls) > 8 {
+			dls = dls[1:]
+		}
+	}
+	if err := sess.Rendering.Validate(); err != nil {
+		return nil, fmt.Errorf("dash: session produced invalid rendering: %w", err)
+	}
+	return sess, nil
+}
+
+// get fetches a path and returns the body.
+func (c *Client) get(httpc *http.Client, path string) ([]byte, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Get(c.BaseURL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, body)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,259 @@
+package dash
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sensei/internal/abr"
+	"sensei/internal/player"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+func testVideo(t *testing.T) *video.Video {
+	t.Helper()
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMPDRoundTrip(t *testing.T) {
+	v := testVideo(t)
+	w := v.TrueSensitivity()
+	mpd, err := BuildMPD(v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := mpd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SenseiWeights") {
+		t.Fatal("manifest missing SENSEI extension")
+	}
+	parsed, err := ParseMPD(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parsed.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w) {
+		t.Fatalf("%d weights round-tripped of %d", len(got), len(w))
+	}
+	for i := range w {
+		if math.Abs(got[i]-w[i]) > 1e-5 {
+			t.Fatalf("weight %d: %v != %v", i, got[i], w[i])
+		}
+	}
+	ladder := parsed.Ladder()
+	for i, kbps := range v.Ladder {
+		if ladder[i] != kbps {
+			t.Fatalf("ladder mismatch: %v", ladder)
+		}
+	}
+}
+
+func TestMPDWithoutWeights(t *testing.T) {
+	v := testVideo(t)
+	mpd, err := BuildMPD(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := mpd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseMPD(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := parsed.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatal("legacy manifest should have nil weights")
+	}
+}
+
+func TestMPDValidatesWeights(t *testing.T) {
+	v := testVideo(t)
+	if _, err := BuildMPD(v, []float64{1, 2}); err == nil {
+		t.Fatal("wrong-length weights accepted")
+	}
+	bad := `<?xml version="1.0"?><MPD><Period><AdaptationSet>
+	  <Representation id="0" bandwidth="300000"><SenseiWeights>1.0 -0.5</SenseiWeights></Representation>
+	</AdaptationSet></Period></MPD>`
+	m, err := ParseMPD([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Weights(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	garbled := strings.Replace(bad, "-0.5", "abc", 1)
+	m2, err := ParseMPD([]byte(garbled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Weights(); err == nil {
+		t.Fatal("non-numeric weight accepted")
+	}
+}
+
+func TestISODuration(t *testing.T) {
+	v := testVideo(t)
+	mpd, err := BuildMPD(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpd.MediaPresentation != "PT0M24S" {
+		t.Fatalf("duration %q", mpd.MediaPresentation)
+	}
+}
+
+func TestShaperThrottleRate(t *testing.T) {
+	tr := &trace.Trace{Name: "flat", BitsPerSecond: []float64{8e6}} // 1 MB/s
+	s, err := NewShaper(tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 KB at 1 MB/s = 0.1 virtual seconds = 1 ms wall at scale 0.01.
+	d := s.Throttle(100 * 1024)
+	wallMs := d.Seconds() * 1000
+	if wallMs < 0.5 || wallMs > 2.5 {
+		t.Fatalf("throttle %v ms for 100KB at 1MB/s scale 0.01", wallMs)
+	}
+}
+
+func TestShaperValidates(t *testing.T) {
+	if _, err := NewShaper(&trace.Trace{Name: "bad"}, 0.01); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+// endToEnd spins up a server and streams with the given algorithm.
+func endToEnd(t *testing.T, alg player.Algorithm, weights []float64, meanBps float64) *Session {
+	t.Helper()
+	v := testVideo(t)
+	tr := trace.Generate(trace.GenSpec{Name: "e2e", Kind: trace.KindFCC, MeanBps: meanBps, Seconds: 600, Seed: 5})
+	shaper, err := NewShaper(tr, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(v, weights, shaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &Client{
+		BaseURL:   "http://" + addr,
+		Algorithm: alg,
+		TimeScale: 0.002,
+	}
+	sess, err := client.Stream(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestEndToEndStreaming(t *testing.T) {
+	v := testVideo(t)
+	sess := endToEnd(t, abr.NewBBA(), v.TrueSensitivity(), 4e6)
+	if sess.Rendering.Validate() != nil {
+		t.Fatal("invalid rendering")
+	}
+	if sess.BytesDownloaded <= 0 {
+		t.Fatal("no bytes downloaded")
+	}
+	if sess.Weights == nil {
+		t.Fatal("weights did not arrive via manifest")
+	}
+	// Throughput ~4 Mbps: BBA should climb off the bottom rung eventually.
+	var sawAboveBottom bool
+	for _, r := range sess.Rendering.Rungs {
+		if r > 0 {
+			sawAboveBottom = true
+		}
+	}
+	if !sawAboveBottom {
+		t.Fatalf("BBA never climbed: %v", sess.Rendering.Rungs)
+	}
+}
+
+func TestEndToEndWeightsReachAlgorithm(t *testing.T) {
+	v := testVideo(t)
+	rec := &weightRecorder{}
+	endToEnd(t, rec, v.TrueSensitivity(), 4e6)
+	if !rec.sawWeights {
+		t.Fatal("algorithm never saw manifest weights")
+	}
+}
+
+type weightRecorder struct{ sawWeights bool }
+
+func (w *weightRecorder) Name() string { return "recorder" }
+func (w *weightRecorder) Decide(s *player.State) player.Decision {
+	if s.Weights != nil {
+		w.sawWeights = true
+	}
+	return player.Decision{Rung: 0}
+}
+
+func TestEndToEndProactiveStall(t *testing.T) {
+	alg := &stallOnce{}
+	sess := endToEnd(t, alg, nil, 6e6)
+	if sess.Rendering.StallSec[2] < 0.9 {
+		t.Fatalf("proactive stall not delivered: %v", sess.Rendering.StallSec)
+	}
+	if sess.RebufferVirtualSec < 0.9 {
+		t.Fatalf("rebuffer ledger %v", sess.RebufferVirtualSec)
+	}
+}
+
+type stallOnce struct{}
+
+func (stallOnce) Name() string { return "stall-once" }
+func (stallOnce) Decide(s *player.State) player.Decision {
+	if s.ChunkIndex == 2 {
+		return player.Decision{Rung: 0, PreStallSec: 1}
+	}
+	return player.Decision{Rung: 0}
+}
+
+func TestServerRejectsBadSegment(t *testing.T) {
+	v := testVideo(t)
+	tr := &trace.Trace{Name: "f", BitsPerSecond: []float64{1e9}}
+	shaper, err := NewShaper(tr, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(v, nil, shaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{BaseURL: "http://" + addr}
+	if _, err := c.get(nil, "/segment/999/0"); err == nil {
+		t.Fatal("out-of-range segment accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package dash is SENSEI's integration substrate (§6 of the paper): a DASH
+// manifest (MPD) extended with per-chunk sensitivity weights, a segment
+// server whose egress is shaped by a throughput trace, and a streaming
+// client that drives any player.Algorithm over real TCP — including the
+// MSE-style delayed source-buffer sink that implements SENSEI's proactive
+// rebuffering.
+package dash
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sensei/internal/video"
+)
+
+// MPD is a minimal DASH media presentation description. The structure
+// follows the DASH-IF layout (Period → AdaptationSet → Representation) with
+// one SENSEI extension: a SenseiWeights element under each Representation
+// carrying the profiled per-chunk sensitivity weights, exactly as §6
+// describes augmenting the manifest.
+type MPD struct {
+	XMLName           xml.Name `xml:"MPD"`
+	MediaPresentation string   `xml:"mediaPresentationDuration,attr"`
+	Period            Period   `xml:"Period"`
+}
+
+// Period is the single playback period.
+type Period struct {
+	AdaptationSet AdaptationSet `xml:"AdaptationSet"`
+}
+
+// AdaptationSet groups the video representations.
+type AdaptationSet struct {
+	MimeType        string           `xml:"mimeType,attr"`
+	SegmentSeconds  int              `xml:"senseiSegmentSeconds,attr"`
+	Representations []Representation `xml:"Representation"`
+}
+
+// Representation is one ladder rung.
+type Representation struct {
+	ID        string `xml:"id,attr"`
+	Bandwidth int    `xml:"bandwidth,attr"`
+	// SenseiWeights is the paper's manifest extension: space-separated
+	// per-chunk sensitivity weights. Legacy players ignore the unknown
+	// element; SENSEI players parse it.
+	SenseiWeights string `xml:"SenseiWeights,omitempty"`
+}
+
+// BuildMPD renders the manifest for a video, embedding weights when
+// non-nil. Weights must match the chunk count.
+func BuildMPD(v *video.Video, weights []float64) (*MPD, error) {
+	if weights != nil && len(weights) != v.NumChunks() {
+		return nil, fmt.Errorf("dash: %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+	var wAttr string
+	if weights != nil {
+		parts := make([]string, len(weights))
+		for i, w := range weights {
+			parts[i] = strconv.FormatFloat(w, 'f', 6, 64)
+		}
+		wAttr = strings.Join(parts, " ")
+	}
+	reps := make([]Representation, len(v.Ladder))
+	for i, kbps := range v.Ladder {
+		reps[i] = Representation{
+			ID:            strconv.Itoa(i),
+			Bandwidth:     kbps * 1000,
+			SenseiWeights: wAttr,
+		}
+	}
+	return &MPD{
+		MediaPresentation: formatISODuration(v.Duration()),
+		Period: Period{
+			AdaptationSet: AdaptationSet{
+				MimeType:        "video/mp4",
+				SegmentSeconds:  int(video.ChunkDuration / time.Second),
+				Representations: reps,
+			},
+		},
+	}, nil
+}
+
+// Encode serializes the MPD as XML.
+func (m *MPD) Encode() ([]byte, error) {
+	out, err := xml.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dash: encoding MPD: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ParseMPD decodes a manifest.
+func ParseMPD(data []byte) (*MPD, error) {
+	var m MPD
+	if err := xml.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dash: parsing MPD: %w", err)
+	}
+	return &m, nil
+}
+
+// Weights extracts the SENSEI weight vector from the manifest; it returns
+// nil (no error) for a manifest without the extension — a legacy stream.
+func (m *MPD) Weights() ([]float64, error) {
+	reps := m.Period.AdaptationSet.Representations
+	if len(reps) == 0 || reps[0].SenseiWeights == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(reps[0].SenseiWeights)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		w, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dash: weight %d: %w", i, err)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("dash: weight %d is %v, must be positive", i, w)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Ladder reconstructs the bitrate ladder (kbps) from the manifest.
+func (m *MPD) Ladder() []int {
+	reps := m.Period.AdaptationSet.Representations
+	out := make([]int, len(reps))
+	for i, r := range reps {
+		out[i] = r.Bandwidth / 1000
+	}
+	return out
+}
+
+// formatISODuration renders an ISO-8601 duration like PT3M40S.
+func formatISODuration(d time.Duration) string {
+	total := int(d / time.Second)
+	m := total / 60
+	s := total % 60
+	return fmt.Sprintf("PT%dM%dS", m, s)
+}

@@ -1,0 +1,173 @@
+package dash
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// Shaper throttles egress to follow a throughput trace. It is the offline
+// stand-in for the paper's Mahimahi-style trace replay: all connections
+// share one bottleneck whose capacity at virtual time t is the trace sample
+// at t. Virtual time advances TimeScale times faster than wall-clock time,
+// so a 15-minute session can run in seconds without changing any of the
+// throughput arithmetic.
+type Shaper struct {
+	// TimeScale compresses time: virtualSeconds = wallSeconds / TimeScale
+	// ... i.e. sleeping wallSeconds = virtualSeconds * TimeScale. A value
+	// of 0.01 runs sessions 100× faster than real time.
+	TimeScale float64
+
+	mu     sync.Mutex
+	cursor *trace.Cursor
+	epoch  time.Time
+}
+
+// NewShaper starts a shaper replaying tr from virtual time zero.
+func NewShaper(tr *trace.Trace, timeScale float64) (*Shaper, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("dash: shaper: %w", err)
+	}
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &Shaper{
+		TimeScale: timeScale,
+		cursor:    trace.NewCursor(tr),
+		epoch:     time.Now(),
+	}, nil
+}
+
+// VirtualNow returns the current virtual time in seconds.
+func (s *Shaper) VirtualNow() float64 {
+	return time.Since(s.epoch).Seconds() / s.TimeScale
+}
+
+// Throttle accounts for n bytes crossing the bottleneck and returns how
+// long (wall clock) the caller must sleep before the bytes are considered
+// delivered. The shaper's cursor is kept in sync with wall-clock virtual
+// time so idle periods consume trace capacity like a real link.
+func (s *Shaper) Throttle(n int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Sync the cursor forward to "now" if the link has been idle.
+	now := s.VirtualNow()
+	if now > s.cursor.Now() {
+		s.cursor.Advance(now - s.cursor.Now())
+	}
+	virtualSec := s.cursor.Download(float64(n) * 8)
+	return time.Duration(virtualSec * s.TimeScale * float64(time.Second))
+}
+
+// Server serves a video's manifest and segments over HTTP with shaped
+// egress.
+type Server struct {
+	video   *video.Video
+	weights []float64
+	shaper  *Shaper
+
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// NewServer builds a server for v. weights may be nil (legacy manifest).
+func NewServer(v *video.Video, weights []float64, shaper *Shaper) (*Server, error) {
+	if shaper == nil {
+		return nil, fmt.Errorf("dash: server needs a shaper")
+	}
+	if weights != nil && len(weights) != v.NumChunks() {
+		return nil, fmt.Errorf("dash: %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+	return &Server{video: v, weights: weights, shaper: shaper}, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves in
+// a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dash: listen: %w", err)
+	}
+	s.listener = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest.mpd", s.handleManifest)
+	mux.HandleFunc("/segment/", s.handleSegment)
+	s.httpSrv = &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed is the normal shutdown path.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	mpd, err := BuildMPD(s.video, s.weights)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := mpd.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dash+xml")
+	_, _ = w.Write(body)
+}
+
+// handleSegment serves /segment/<chunk>/<rung> with shaped egress. The body
+// is synthetic: the right number of bytes for the requested encoding.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/segment/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "dash: want /segment/<chunk>/<rung>", http.StatusBadRequest)
+		return
+	}
+	chunk, err1 := strconv.Atoi(parts[0])
+	rung, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || chunk < 0 || chunk >= s.video.NumChunks() || rung < 0 || rung >= len(s.video.Ladder) {
+		http.Error(w, "dash: segment out of range", http.StatusNotFound)
+		return
+	}
+	size := int(s.video.ChunkSizeBits(chunk, rung) / 8)
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.Itoa(size))
+
+	// Stream in slices, sleeping per the shaper so the client observes the
+	// trace's bandwidth.
+	const slice = 32 * 1024
+	buf := make([]byte, slice)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	remaining := size
+	for remaining > 0 {
+		n := slice
+		if remaining < n {
+			n = remaining
+		}
+		time.Sleep(s.shaper.Throttle(n))
+		if _, err := w.Write(buf[:n]); err != nil {
+			return // client went away
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		remaining -= n
+	}
+}

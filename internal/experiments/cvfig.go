@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensei/internal/crowd"
+	"sensei/internal/cv"
+	"sensei/internal/stats"
+)
+
+// Fig20Series is one video's sensitivity estimates from each source.
+type Fig20Series struct {
+	Video string
+	// Chunks is the number of chunks compared.
+	Chunks int
+	// UserStudy holds weights inferred from the crowdsourced study,
+	// normalized to [0,1] for display like the figure.
+	UserStudy []float64
+	// PerModel maps CV model name to its normalized scores.
+	PerModel map[string][]float64
+	// SRCC maps model name to its rank correlation with the user study.
+	SRCC map[string]float64
+}
+
+// Fig20Result is the Appendix-D comparison.
+type Fig20Result struct {
+	Series []Fig20Series
+	// MeanSRCC maps model to its average correlation across videos.
+	MeanSRCC map[string]float64
+}
+
+// Fig20 reproduces Figure 20 (Appendix D): per-chunk quality sensitivity
+// from the user study versus three CV highlight models on four videos. The
+// CV models track information richness and motion, not sensitivity, so
+// their correlation with the study weights is poor.
+func (l *Lab) Fig20() (*Fig20Result, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig20Result{MeanSRCC: map[string]float64{}}
+	models := cv.All()
+	for _, name := range []string{"Lava", "Tank", "Animal", "Soccer2"} {
+		clip := l.excerptByName(name)
+		if clip == nil {
+			return nil, fmt.Errorf("experiments: clip %s missing", name)
+		}
+		// User-study weights via the profiling pipeline on the clip.
+		profiler := crowd.NewProfiler(pop)
+		profile, err := profiler.Profile(clip)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig20Series{
+			Video:     name,
+			Chunks:    clip.NumChunks(),
+			UserStudy: stats.Normalize(profile.Weights),
+			PerModel:  map[string][]float64{},
+			SRCC:      map[string]float64{},
+		}
+		for _, m := range models {
+			scores := m.Score(clip)
+			s.PerModel[m.Name()] = stats.Normalize(scores)
+			s.SRCC[m.Name()] = stats.Spearman(scores, profile.Weights)
+			res.MeanSRCC[m.Name()] += s.SRCC[m.Name()] / 4
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render formats per-video series and summary correlations.
+func (r *Fig20Result) Render() string {
+	out := ""
+	for _, s := range r.Series {
+		t := &Table{Title: "Figure 20: quality sensitivity estimates — " + s.Video,
+			Headers: []string{"Chunk", "user study", "AMVM", "DSN", "Video2GIF"}}
+		for i := 0; i < s.Chunks; i++ {
+			t.AddRow(fmt.Sprint(i+1), f2(s.UserStudy[i]),
+				f2(s.PerModel["AMVM"][i]), f2(s.PerModel["DSN"][i]), f2(s.PerModel["Video2GIF"][i]))
+		}
+		out += t.Render()
+	}
+	t := &Table{Title: "Figure 20: mean SRCC vs user study", Headers: []string{"Model", "SRCC"}}
+	for _, name := range []string{"AMVM", "DSN", "Video2GIF"} {
+		t.AddRow(name, f2(r.MeanSRCC[name]))
+	}
+	out += t.Render()
+	return out
+}

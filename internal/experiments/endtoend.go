@@ -1,0 +1,583 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/player"
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// sessionQoE streams v over tr with alg and returns the crowd-rated QoE.
+func (l *Lab) sessionQoE(v *video.Video, tr *trace.Trace, alg player.Algorithm, weights []float64, offset int) (float64, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return 0, err
+	}
+	res, err := player.Play(v, tr, alg, weights, player.Config{})
+	if err != nil {
+		return 0, fmt.Errorf("experiments: %s on %s/%s: %w", alg.Name(), v.Name, tr.Name, err)
+	}
+	return l.qoeOfResult(pop, res, offset)
+}
+
+// gainSet is the per-(video, trace) QoE of the four headline algorithms.
+type gainSet struct {
+	video, trace                string
+	bba, fugu, pensieve, sensei float64
+}
+
+// headlineGains runs the §7.2 end-to-end matrix once and caches nothing:
+// callers slice it per figure.
+func (l *Lab) headlineGains(videos []*video.Video, traces []*trace.Trace) ([]gainSet, error) {
+	weights, _, err := l.Weights()
+	if err != nil {
+		return nil, err
+	}
+	pens, _, err := l.Agents()
+	if err != nil {
+		return nil, err
+	}
+	var out []gainSet
+	offset := 900000
+	for _, v := range videos {
+		w := weights[v.Name]
+		// Headline SENSEI is the MPC variant: our from-scratch RL
+		// substrate is weaker than the paper's A3C setup, and Fig 18a
+		// shows the two SENSEI variants perform on par (see DESIGN.md).
+		sensei := abr.NewSenseiFugu()
+		for _, tr := range traces {
+			g := gainSet{video: v.Name, trace: tr.Name}
+			if g.bba, err = l.sessionQoE(v, tr, abr.NewBBA(), nil, offset); err != nil {
+				return nil, err
+			}
+			offset += l.raters()
+			if g.fugu, err = l.sessionQoE(v, tr, abr.NewFugu(), nil, offset); err != nil {
+				return nil, err
+			}
+			offset += l.raters()
+			if g.pensieve, err = l.sessionQoE(v, tr, pens, nil, offset); err != nil {
+				return nil, err
+			}
+			offset += l.raters()
+			if g.sensei, err = l.sessionQoE(v, tr, sensei, w, offset); err != nil {
+				return nil, err
+			}
+			offset += l.raters()
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// endToEndMatrix caches the full 16×10 headline matrix.
+func (l *Lab) endToEndMatrix() ([]gainSet, error) {
+	l.onceMatrix.Do(func() {
+		videos := l.Videos()
+		traces := l.TestTraces()
+		if l.Mode == Quick {
+			videos = videos[:6]
+			// Keep the low-bandwidth traces: stall placement is where
+			// sensitivity awareness matters most.
+			traces = []*trace.Trace{traces[0], traces[1], traces[3], traces[5], traces[7]}
+		}
+		l.matrix, l.matrixErr = l.headlineGains(videos, traces)
+	})
+	return l.matrix, l.matrixErr
+}
+
+// relGain is (a-b)/b, guarding tiny denominators.
+func relGain(a, b float64) float64 {
+	if b < 0.02 {
+		b = 0.02
+	}
+	return (a - b) / b
+}
+
+// Fig12aResult is the CDF of QoE gains over BBA.
+type Fig12aResult struct {
+	SenseiGains, PensieveGains, FuguGains []float64
+}
+
+// Fig12a reproduces Figure 12a: per-(video, trace) QoE gain over BBA for
+// SENSEI, Pensieve and Fugu.
+func (l *Lab) Fig12a() (*Fig12aResult, error) {
+	matrix, err := l.endToEndMatrix()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12aResult{}
+	for _, g := range matrix {
+		res.SenseiGains = append(res.SenseiGains, relGain(g.sensei, g.bba))
+		res.PensieveGains = append(res.PensieveGains, relGain(g.pensieve, g.bba))
+		res.FuguGains = append(res.FuguGains, relGain(g.fugu, g.bba))
+	}
+	return res, nil
+}
+
+// Render formats gain percentiles.
+func (r *Fig12aResult) Render() string {
+	t := &Table{Title: "Figure 12a: QoE gain over BBA (percentiles)",
+		Headers: []string{"Algorithm", "p20", "p50", "p80", "mean"}}
+	row := func(name string, xs []float64) {
+		t.AddRow(name, pct(stats.Percentile(xs, 0.2)), pct(stats.Percentile(xs, 0.5)),
+			pct(stats.Percentile(xs, 0.8)), pct(stats.Mean(xs)))
+	}
+	row("SENSEI", r.SenseiGains)
+	row("Pensieve", r.PensieveGains)
+	row("Fugu", r.FuguGains)
+	return t.Render()
+}
+
+// Fig12bResult is QoE vs normalized bandwidth.
+type Fig12bResult struct {
+	ScalePct []int
+	// QoE[alg][scale] for BBA, Fugu, Pensieve, SENSEI.
+	BBA, Fugu, Pensieve, Sensei []float64
+	// BandwidthSavingAtTarget is SENSEI's bandwidth saving vs the best
+	// baseline at the target QoE.
+	TargetQoE              float64
+	BandwidthSavingPct     float64
+	BandwidthSavingVsBBPct float64
+}
+
+// Fig12b reproduces Figure 12b: average QoE of each algorithm as one trace
+// is scaled down, and the implied bandwidth savings at a target QoE.
+func (l *Lab) Fig12b() (*Fig12bResult, error) {
+	weights, _, err := l.Weights()
+	if err != nil {
+		return nil, err
+	}
+	pens, _, err := l.Agents()
+	if err != nil {
+		return nil, err
+	}
+	videos := l.Videos()
+	if l.Mode == Quick {
+		videos = videos[:5]
+	}
+	base := l.TestTraces()[7] // fcc-3.5M
+	res := &Fig12bResult{TargetQoE: 0.75}
+	scales := []int{20, 35, 50, 65, 80, 100}
+	offset := 1500000
+	for _, sc := range scales {
+		tr := base.Scaled(float64(sc) / 100)
+		var sums [4]float64
+		for _, v := range videos {
+			w := weights[v.Name]
+			algs := []struct {
+				alg player.Algorithm
+				w   []float64
+			}{
+				{abr.NewBBA(), nil}, {abr.NewFugu(), nil}, {pens, nil}, {abr.NewSenseiFugu(), w},
+			}
+			for k, a := range algs {
+				q, err := l.sessionQoE(v, tr, a.alg, a.w, offset)
+				if err != nil {
+					return nil, err
+				}
+				offset += l.raters()
+				sums[k] += q
+			}
+		}
+		n := float64(len(videos))
+		res.ScalePct = append(res.ScalePct, sc)
+		res.BBA = append(res.BBA, sums[0]/n)
+		res.Fugu = append(res.Fugu, sums[1]/n)
+		res.Pensieve = append(res.Pensieve, sums[2]/n)
+		res.Sensei = append(res.Sensei, sums[3]/n)
+	}
+	// Bandwidth needed to reach the target QoE, by linear interpolation on
+	// each curve.
+	need := func(curve []float64) float64 {
+		for i := range res.ScalePct {
+			if curve[i] >= res.TargetQoE {
+				if i == 0 {
+					return float64(res.ScalePct[0])
+				}
+				lo, hi := float64(res.ScalePct[i-1]), float64(res.ScalePct[i])
+				frac := (res.TargetQoE - curve[i-1]) / (curve[i] - curve[i-1])
+				return lo + frac*(hi-lo)
+			}
+		}
+		return float64(res.ScalePct[len(res.ScalePct)-1])
+	}
+	sens := need(res.Sensei)
+	bestBaseline := need(res.Fugu)
+	if p := need(res.Pensieve); p < bestBaseline {
+		bestBaseline = p
+	}
+	res.BandwidthSavingPct = (bestBaseline - sens) / bestBaseline
+	res.BandwidthSavingVsBBPct = (need(res.BBA) - sens) / need(res.BBA)
+	return res, nil
+}
+
+// Render formats the curves and savings.
+func (r *Fig12bResult) Render() string {
+	t := &Table{Title: "Figure 12b: QoE vs normalized bandwidth",
+		Headers: []string{"Scale", "BBA", "Fugu", "Pensieve", "SENSEI"}}
+	for i := range r.ScalePct {
+		t.AddRow(fmt.Sprintf("%d%%", r.ScalePct[i]), f3(r.BBA[i]), f3(r.Fugu[i]), f3(r.Pensieve[i]), f3(r.Sensei[i]))
+	}
+	out := t.Render()
+	out += fmt.Sprintf("bandwidth saving at QoE %.2f: %s vs best baseline, %s vs BBA\n",
+		r.TargetQoE, pct(r.BandwidthSavingPct), pct(r.BandwidthSavingVsBBPct))
+	return out
+}
+
+// Fig12cResult compares profiling cost against end-to-end QoE.
+type Fig12cResult struct {
+	// Points are (label, $/min, mean QoE) rows.
+	Labels     []string
+	CostPerMin []float64
+	QoE        []float64
+	// PruningSavingPct is the cost cut from full enumeration to the
+	// two-step scheduler.
+	PruningSavingPct float64
+}
+
+// Fig12c reproduces Figure 12c: the cost/QoE operating points of Pensieve
+// (no profiling), SENSEI with cost pruning, and SENSEI without pruning, on
+// a sample video.
+func (l *Lab) Fig12c() (*Fig12cResult, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	pens, _, err := l.Agents()
+	if err != nil {
+		return nil, err
+	}
+	v := l.Videos()[1] // Soccer1
+	profiler := crowd.NewProfiler(pop)
+	pruned, err := profiler.Profile(v)
+	if err != nil {
+		return nil, err
+	}
+	full, err := profiler.ProfileFull(v)
+	if err != nil {
+		return nil, err
+	}
+
+	traces := l.TestTraces()
+	if l.Mode == Quick {
+		traces = traces[2:7]
+	}
+	meanQoE := func(alg player.Algorithm, w []float64, offset int) (float64, error) {
+		var s float64
+		for _, tr := range traces {
+			q, err := l.sessionQoE(v, tr, alg, w, offset)
+			if err != nil {
+				return 0, err
+			}
+			offset += l.raters()
+			s += q
+		}
+		return s / float64(len(traces)), nil
+	}
+	res := &Fig12cResult{}
+	qPens, err := meanQoE(pens, nil, 2200000)
+	if err != nil {
+		return nil, err
+	}
+	qPruned, err := meanQoE(abr.NewSenseiFugu(), pruned.Weights, 2300000)
+	if err != nil {
+		return nil, err
+	}
+	qFull, err := meanQoE(abr.NewSenseiFugu(), full.Weights, 2400000)
+	if err != nil {
+		return nil, err
+	}
+	res.Labels = []string{"Pensieve (no profiling)", "SENSEI w/ pruning", "SENSEI w/o pruning"}
+	res.CostPerMin = []float64{0, pruned.CostPerMinuteUSD, full.CostPerMinuteUSD}
+	res.QoE = []float64{qPens, qPruned, qFull}
+	res.PruningSavingPct = 1 - pruned.CostUSD/full.CostUSD
+	return res, nil
+}
+
+// Render formats the operating points.
+func (r *Fig12cResult) Render() string {
+	t := &Table{Title: "Figure 12c: profiling cost vs QoE",
+		Headers: []string{"Configuration", "$/min", "Mean QoE"}}
+	for i := range r.Labels {
+		t.AddRow(r.Labels[i], usd(r.CostPerMin[i]), f3(r.QoE[i]))
+	}
+	out := t.Render()
+	out += fmt.Sprintf("pruning cuts cost by %s (paper: 96.7%%)\n", pct(r.PruningSavingPct))
+	return out
+}
+
+// Fig13Result is the per-video gain-over-BBA breakdown.
+type Fig13Result struct {
+	Videos, Genres                     []string
+	SenseiGain, PensieveGain, FuguGain []float64
+}
+
+// Fig13 reproduces Figure 13: mean QoE gain over BBA per source video,
+// grouped by genre.
+func (l *Lab) Fig13() (*Fig13Result, error) {
+	matrix, err := l.endToEndMatrix()
+	if err != nil {
+		return nil, err
+	}
+	byVideo := map[string][]gainSet{}
+	var order []string
+	for _, g := range matrix {
+		if _, ok := byVideo[g.video]; !ok {
+			order = append(order, g.video)
+		}
+		byVideo[g.video] = append(byVideo[g.video], g)
+	}
+	genreOf := map[string]string{}
+	for _, e := range video.Catalog {
+		genreOf[e.Name] = string(e.Genre)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return genreOf[order[a]] < genreOf[order[b]] })
+	res := &Fig13Result{}
+	for _, name := range order {
+		var s, p, f float64
+		sets := byVideo[name]
+		for _, g := range sets {
+			s += relGain(g.sensei, g.bba)
+			p += relGain(g.pensieve, g.bba)
+			f += relGain(g.fugu, g.bba)
+		}
+		n := float64(len(sets))
+		res.Videos = append(res.Videos, name)
+		res.Genres = append(res.Genres, genreOf[name])
+		res.SenseiGain = append(res.SenseiGain, s/n)
+		res.PensieveGain = append(res.PensieveGain, p/n)
+		res.FuguGain = append(res.FuguGain, f/n)
+	}
+	return res, nil
+}
+
+// Render formats the per-video gains.
+func (r *Fig13Result) Render() string {
+	t := &Table{Title: "Figure 13: QoE gain over BBA by video",
+		Headers: []string{"Video", "Genre", "SENSEI", "Pensieve", "Fugu"}}
+	for i := range r.Videos {
+		t.AddRow(r.Videos[i], r.Genres[i], pct(r.SenseiGain[i]), pct(r.PensieveGain[i]), pct(r.FuguGain[i]))
+	}
+	return t.Render()
+}
+
+// Fig14Result is the per-trace gain-over-BBA breakdown.
+type Fig14Result struct {
+	Traces                             []string
+	MeanMbps                           []float64
+	SenseiGain, PensieveGain, FuguGain []float64
+}
+
+// Fig14 reproduces Figure 14: mean QoE gain over BBA per trace, ordered by
+// increasing average throughput.
+func (l *Lab) Fig14() (*Fig14Result, error) {
+	matrix, err := l.endToEndMatrix()
+	if err != nil {
+		return nil, err
+	}
+	meanOf := map[string]float64{}
+	for _, tr := range l.TestTraces() {
+		meanOf[tr.Name] = tr.Mean() / 1e6
+	}
+	byTrace := map[string][]gainSet{}
+	var order []string
+	for _, g := range matrix {
+		if _, ok := byTrace[g.trace]; !ok {
+			order = append(order, g.trace)
+		}
+		byTrace[g.trace] = append(byTrace[g.trace], g)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return meanOf[order[a]] < meanOf[order[b]] })
+	res := &Fig14Result{}
+	for _, name := range order {
+		var s, p, f float64
+		sets := byTrace[name]
+		for _, g := range sets {
+			s += relGain(g.sensei, g.bba)
+			p += relGain(g.pensieve, g.bba)
+			f += relGain(g.fugu, g.bba)
+		}
+		n := float64(len(sets))
+		res.Traces = append(res.Traces, name)
+		res.MeanMbps = append(res.MeanMbps, meanOf[name])
+		res.SenseiGain = append(res.SenseiGain, s/n)
+		res.PensieveGain = append(res.PensieveGain, p/n)
+		res.FuguGain = append(res.FuguGain, f/n)
+	}
+	return res, nil
+}
+
+// Render formats the per-trace gains.
+func (r *Fig14Result) Render() string {
+	t := &Table{Title: "Figure 14: QoE gain over BBA by trace (ascending throughput)",
+		Headers: []string{"Trace", "Mbps", "SENSEI", "Pensieve", "Fugu"}}
+	for i := range r.Traces {
+		t.AddRow(r.Traces[i], f2(r.MeanMbps[i]), pct(r.SenseiGain[i]), pct(r.PensieveGain[i]), pct(r.FuguGain[i]))
+	}
+	return t.Render()
+}
+
+// Fig17Result is the bandwidth-variance robustness study.
+type Fig17Result struct {
+	StdDevKbps []int
+	// QoE per algorithm per noise level.
+	SenseiPensieve, Pensieve, SenseiFugu, Fugu []float64
+}
+
+// Fig17 reproduces Figure 17: QoE as zero-mean Gaussian noise of growing
+// standard deviation is added to one trace, for both SENSEI variants and
+// their base algorithms. SENSEI's QoE is predicted with its model (§7.4
+// scales the experiment this way).
+func (l *Lab) Fig17() (*Fig17Result, error) {
+	weights, _, err := l.Weights()
+	if err != nil {
+		return nil, err
+	}
+	pens, senseiPens, err := l.Agents()
+	if err != nil {
+		return nil, err
+	}
+	videos := l.Videos()
+	if l.Mode == Quick {
+		videos = videos[:4]
+	}
+	base := l.TestTraces()[4] // fcc-1.7M: stressed enough that alignment matters
+	res := &Fig17Result{}
+	levels := []int{0, 400, 800, 1200, 1600}
+	rng := stats.NewRNG(0x17)
+	for _, kbps := range levels {
+		tr := base
+		if kbps > 0 {
+			tr = base.WithNoise(float64(kbps)*1000, 10_000, rng.Fork())
+		}
+		var sums [4]float64
+		for _, v := range videos {
+			w := weights[v.Name]
+			runs := []struct {
+				alg player.Algorithm
+				w   []float64
+			}{
+				{senseiPens, w}, {pens, nil}, {abr.NewSenseiFugu(), w}, {abr.NewFugu(), nil},
+			}
+			for k, rn := range runs {
+				resPlay, err := player.Play(v, tr, rn.alg, rn.w, player.Config{})
+				if err != nil {
+					return nil, err
+				}
+				// §7.4 evaluates with the SENSEI QoE model at scale; true
+				// weights give the model's asymptotic form.
+				sums[k] += abr.WeightedSessionQoE(resPlay.Rendering, v.TrueSensitivity())
+			}
+		}
+		n := float64(len(videos))
+		res.StdDevKbps = append(res.StdDevKbps, kbps)
+		res.SenseiPensieve = append(res.SenseiPensieve, sums[0]/n)
+		res.Pensieve = append(res.Pensieve, sums[1]/n)
+		res.SenseiFugu = append(res.SenseiFugu, sums[2]/n)
+		res.Fugu = append(res.Fugu, sums[3]/n)
+	}
+	return res, nil
+}
+
+// Render formats the robustness curves.
+func (r *Fig17Result) Render() string {
+	t := &Table{Title: "Figure 17: QoE under increasing bandwidth variance",
+		Headers: []string{"Noise σ (kbps)", "SENSEI-Pensieve", "Pensieve", "SENSEI-Fugu", "Fugu"}}
+	for i := range r.StdDevKbps {
+		t.AddRow(fmt.Sprint(r.StdDevKbps[i]), f3(r.SenseiPensieve[i]), f3(r.Pensieve[i]), f3(r.SenseiFugu[i]), f3(r.Fugu[i]))
+	}
+	return t.Render()
+}
+
+// Fig18Result is the two-panel improvement analysis.
+type Fig18Result struct {
+	// Panel (a): gain over BBA with each base ABR logic.
+	FuguBase, FuguSensei, PensieveBase, PensieveSensei float64
+	// Panel (b): breakdown with the MPC family.
+	BreakBase, BreakBitrateOnly, BreakFull float64
+}
+
+// Fig18 reproduces Figure 18: (a) SENSEI improves QoE for both base ABR
+// algorithms, (b) splitting SENSEI's gain into the weighted objective
+// (bitrate adaptation only) and the extra proactive-rebuffer action.
+func (l *Lab) Fig18() (*Fig18Result, error) {
+	weights, _, err := l.Weights()
+	if err != nil {
+		return nil, err
+	}
+	pens, senseiPens, err := l.Agents()
+	if err != nil {
+		return nil, err
+	}
+	videos := l.Videos()
+	traces := l.TestTraces()
+	if l.Mode == Quick {
+		videos = videos[:5]
+		traces = traces[2:7]
+	}
+
+	// Bitrate-only SENSEI-Fugu: weighted objective without the stall action.
+	bitrateOnly := abr.NewSenseiFugu()
+	bitrateOnly.PreStallChoices = nil
+
+	sums := map[string]float64{}
+	var n float64
+	for _, v := range videos {
+		w := weights[v.Name]
+		for _, tr := range traces {
+			runs := []struct {
+				key string
+				alg player.Algorithm
+				w   []float64
+			}{
+				{"bba", abr.NewBBA(), nil},
+				{"fugu", abr.NewFugu(), nil},
+				{"sfugu", abr.NewSenseiFugu(), w},
+				{"pens", pens, nil},
+				{"spens", senseiPens, w},
+				{"sbitrate", bitrateOnly, w},
+			}
+			for _, rn := range runs {
+				res, err := player.Play(v, tr, rn.alg, rn.w, player.Config{})
+				if err != nil {
+					return nil, err
+				}
+				sums[rn.key] += abr.WeightedSessionQoE(res.Rendering, v.TrueSensitivity())
+			}
+			n++
+		}
+	}
+	for k := range sums {
+		sums[k] /= n
+	}
+	res := &Fig18Result{
+		FuguBase:         relGain(sums["fugu"], sums["bba"]),
+		FuguSensei:       relGain(sums["sfugu"], sums["bba"]),
+		PensieveBase:     relGain(sums["pens"], sums["bba"]),
+		PensieveSensei:   relGain(sums["spens"], sums["bba"]),
+		BreakBase:        relGain(sums["fugu"], sums["bba"]),
+		BreakBitrateOnly: relGain(sums["sbitrate"], sums["bba"]),
+		BreakFull:        relGain(sums["sfugu"], sums["bba"]),
+	}
+	return res, nil
+}
+
+// Render formats both panels.
+func (r *Fig18Result) Render() string {
+	t := &Table{Title: "Figure 18a: SENSEI gain with either base ABR (gain over BBA)",
+		Headers: []string{"Base", "Base ABR", "SENSEI variant"}}
+	t.AddRow("Fugu", pct(r.FuguBase), pct(r.FuguSensei))
+	t.AddRow("Pensieve", pct(r.PensieveBase), pct(r.PensieveSensei))
+	out := t.Render()
+	t2 := &Table{Title: "Figure 18b: QoE breakdown (MPC family, gain over BBA)",
+		Headers: []string{"Configuration", "Gain"}}
+	t2.AddRow("Base ABR w/ KSQI", pct(r.BreakBase))
+	t2.AddRow("+ weighted objective (bitrate only)", pct(r.BreakBitrateOnly))
+	t2.AddRow("Full SENSEI (+ proactive rebuffer)", pct(r.BreakFull))
+	return out + t2.Render()
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sensei/internal/stats"
+)
+
+// sharedLab builds expensive fixtures once across the whole test run.
+var (
+	labOnce sync.Once
+	lab     *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment fixtures are slow")
+	}
+	labOnce.Do(func() { lab = NewLab(Quick) })
+	return lab
+}
+
+func TestTable1(t *testing.T) {
+	l := NewLab(Quick)
+	res := l.Table1()
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	out := res.Render()
+	for _, want := range []string{"Soccer1", "BigBuckBunny", "Sports", "Animation", "WaterlooSQOE-III"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1ShowsPositionDependence(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MOS) != 6 {
+		t.Fatalf("%d positions", len(res.MOS))
+	}
+	// The headline phenomenon: a substantial gap between best and worst
+	// stall position (paper reports >40% on Soccer1).
+	if res.GapPct < 0.10 {
+		t.Fatalf("gap %.3f too small; Figure 1 phenomenon absent", res.GapPct)
+	}
+	if !strings.Contains(res.Render(), "max-min gap") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestFig3GapDistribution(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WholeGaps) != 48 {
+		t.Fatalf("%d series, want 48", len(res.WholeGaps))
+	}
+	if len(res.WindowGaps) <= len(res.WholeGaps) {
+		t.Fatal("window variant missing")
+	}
+	// A meaningful share of series shows large gaps (paper: 21/48 > 40%).
+	if res.Above40Pct < 0.2 {
+		t.Fatalf("only %.2f of series above 40%% gap", res.Above40Pct)
+	}
+}
+
+func TestFig4IncidentShapesAgree(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-second stalls must be worse than 1-second stalls on average.
+	if stats.Mean(res.MOS[1]) >= stats.Mean(res.MOS[0]) {
+		t.Fatal("4s stall not worse than 1s stall")
+	}
+	// Rankings across incidents should agree (the Fig 4/5 premise).
+	if r := stats.Spearman(res.MOS[0], res.MOS[1]); r < 0.4 {
+		t.Fatalf("1s vs 4s rank correlation %.2f too low", r)
+	}
+}
+
+func TestFig5CrossIncidentCorrelation(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Videos) != 16 {
+		t.Fatalf("%d videos", len(res.Videos))
+	}
+	if m := stats.Mean(res.Rebuf1Vs4); m < 0.5 {
+		t.Fatalf("mean 1s-vs-4s SRCC %.2f; paper shows strong correlation", m)
+	}
+	if m := stats.Mean(res.RebufVsDrop); m < 0.35 {
+		t.Fatalf("mean rebuffer-vs-drop SRCC %.2f too low", m)
+	}
+}
+
+func TestFig6AwareWins(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ScalePct) != 5 {
+		t.Fatalf("%d scales", len(res.ScalePct))
+	}
+	var wins int
+	for i := range res.ScalePct {
+		if res.AwareQoE[i] >= res.UnawareQoE[i] {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("aware oracle won only %d/5 scales", wins)
+	}
+	// QoE grows with bandwidth for both.
+	if res.AwareQoE[len(res.AwareQoE)-1] <= res.AwareQoE[0] {
+		t.Fatal("QoE did not grow with bandwidth")
+	}
+}
+
+func TestFig2ModelComparison(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]Fig2Row{}
+	for _, r := range res.Rows {
+		byName[r.Model] = r
+	}
+	sensei, ksqi := byName["SENSEI"], byName["KSQI"]
+	if sensei.MeanRelErr >= ksqi.MeanRelErr {
+		t.Fatalf("SENSEI error %.3f not below KSQI %.3f", sensei.MeanRelErr, ksqi.MeanRelErr)
+	}
+	// Quick mode resolves only a few dozen ABR pairs, so the discordance
+	// estimate carries several points of sampling noise; require SENSEI to
+	// be within that band of KSQI rather than strictly below.
+	if sensei.DiscordantPct > ksqi.DiscordantPct+0.05 {
+		t.Fatalf("SENSEI discordant %.3f above KSQI %.3f", sensei.DiscordantPct, ksqi.DiscordantPct)
+	}
+}
+
+func TestFig15SenseiMostAccurate(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig15Row{}
+	for _, r := range res.Rows {
+		byName[r.Model] = r
+		if len(r.Scatter) == 0 {
+			t.Fatalf("%s missing scatter data", r.Model)
+		}
+	}
+	s := byName["SENSEI"]
+	for _, base := range []string{"KSQI", "LSTM-QoE", "P.1203"} {
+		if s.PLCC <= byName[base].PLCC-0.02 {
+			t.Fatalf("SENSEI PLCC %.2f not above %s %.2f", s.PLCC, base, byName[base].PLCC)
+		}
+	}
+	if s.PLCC < 0.7 {
+		t.Fatalf("SENSEI PLCC %.2f too low", s.PLCC)
+	}
+}
+
+func TestFig16MoreBudgetMoreAccuracy(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 4 {
+		t.Fatalf("%d panels", len(res.Panels))
+	}
+	// Cost must grow along the raters sweep.
+	raters := res.Panels["M raters per video"]
+	if len(raters) != 4 {
+		t.Fatalf("%d rater points", len(raters))
+	}
+	if raters[len(raters)-1].CostPerMin <= raters[0].CostPerMin {
+		t.Fatal("more raters should cost more")
+	}
+	// And the top-budget accuracy should be at least as good as the lowest.
+	if raters[len(raters)-1].PLCC < raters[0].PLCC-0.05 {
+		t.Fatalf("accuracy fell with budget: %.2f -> %.2f", raters[0].PLCC, raters[len(raters)-1].PLCC)
+	}
+}
+
+func TestSanityMTurkVsLab(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Sanity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clips) != 3 {
+		t.Fatalf("%d clips", len(res.Clips))
+	}
+	if res.MaxRelDiffPct > 0.10 {
+		t.Fatalf("MTurk and in-lab MOS disagree by %.1f%%; paper reports <3%%", 100*res.MaxRelDiffPct)
+	}
+}
+
+func TestFig12aSenseiLeads(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig12a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SenseiGains) == 0 {
+		t.Fatal("no gain data")
+	}
+	sMed := stats.Percentile(res.SenseiGains, 0.5)
+	pMed := stats.Percentile(res.PensieveGains, 0.5)
+	fMed := stats.Percentile(res.FuguGains, 0.5)
+	if sMed <= pMed && sMed <= fMed {
+		t.Fatalf("SENSEI median gain %.3f not above Pensieve %.3f / Fugu %.3f", sMed, pMed, fMed)
+	}
+}
+
+func TestFig12bSenseiNeedsLessBandwidth(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig12b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandwidthSavingPct <= 0 {
+		t.Fatalf("SENSEI bandwidth saving %.3f not positive", res.BandwidthSavingPct)
+	}
+	// QoE curves should be non-decreasing-ish in bandwidth at the ends.
+	last := len(res.Sensei) - 1
+	if res.Sensei[last] <= res.Sensei[0] {
+		t.Fatal("SENSEI QoE did not grow with bandwidth")
+	}
+}
+
+func TestFig12cPruningCutsCost(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig12c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PruningSavingPct < 0.80 {
+		t.Fatalf("pruning saved only %.2f; paper reports 96.7%%", res.PruningSavingPct)
+	}
+	// Pruned SENSEI should beat unprofiled Pensieve.
+	if res.QoE[1] <= res.QoE[0] {
+		t.Fatalf("pruned SENSEI QoE %.3f not above Pensieve %.3f", res.QoE[1], res.QoE[0])
+	}
+	// And cost far below full enumeration.
+	if res.CostPerMin[1] >= res.CostPerMin[2] {
+		t.Fatal("pruned cost not below full cost")
+	}
+}
+
+func TestFig13PerVideoBreakdown(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Videos) == 0 {
+		t.Fatal("no videos")
+	}
+	// SENSEI should beat its base algorithm on average across videos.
+	if stats.Mean(res.SenseiGain) <= stats.Mean(res.PensieveGain) {
+		t.Fatalf("SENSEI mean gain %.3f not above Pensieve %.3f",
+			stats.Mean(res.SenseiGain), stats.Mean(res.PensieveGain))
+	}
+}
+
+func TestFig14PerTraceBreakdown(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) == 0 {
+		t.Fatal("no traces")
+	}
+	for i := 1; i < len(res.MeanMbps); i++ {
+		if res.MeanMbps[i] < res.MeanMbps[i-1] {
+			t.Fatal("traces not ordered by throughput")
+		}
+	}
+}
+
+func TestFig17SenseiRobustToVariance(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every noise level, SENSEI-Fugu should stay above Fugu.
+	var wins int
+	for i := range res.StdDevKbps {
+		if res.SenseiFugu[i] >= res.Fugu[i] {
+			wins++
+		}
+	}
+	if wins < len(res.StdDevKbps)-1 {
+		t.Fatalf("SENSEI-Fugu beat Fugu at only %d/%d noise levels", wins, len(res.StdDevKbps))
+	}
+}
+
+func TestFig18GainSourcesStack(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) SENSEI variants beat their bases for both families.
+	if res.FuguSensei <= res.FuguBase {
+		t.Fatalf("SENSEI-Fugu gain %.3f not above Fugu %.3f", res.FuguSensei, res.FuguBase)
+	}
+	// (b) the weighted objective already improves on the base.
+	if res.BreakBitrateOnly <= res.BreakBase {
+		t.Fatalf("bitrate-only SENSEI %.3f not above base %.3f", res.BreakBitrateOnly, res.BreakBase)
+	}
+}
+
+func TestFig20CVModelsPoorlyCorrelated(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.Fig20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	for name, srcc := range res.MeanSRCC {
+		if srcc > 0.75 {
+			t.Fatalf("%s SRCC %.2f with user study; Appendix-D premise broken", name, srcc)
+		}
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	l := quickLab(t)
+	r1, err := l.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r1.Render(), "Figure 1") {
+		t.Fatal("Fig1 render broken")
+	}
+	tbl := &Table{Title: "x", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	if !strings.Contains(tbl.Render(), "==") {
+		t.Fatal("table render broken")
+	}
+}
+
+func TestAppendixBSurveyMechanics(t *testing.T) {
+	l := quickLab(t)
+	res, err := l.AppendixB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderBias > 0.12 || res.OrderBias < -0.12 {
+		t.Fatalf("order bias %.3f too strong", res.OrderBias)
+	}
+	if res.NormalRejectRate <= res.MasterRejectRate {
+		t.Fatalf("normal rejection %.3f not above master %.3f", res.NormalRejectRate, res.MasterRejectRate)
+	}
+	if res.CrowdExtraRatersPct < 0 {
+		t.Fatalf("negative extra raters %v", res.CrowdExtraRatersPct)
+	}
+}

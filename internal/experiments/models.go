@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensei/internal/crowd"
+	"sensei/internal/mos"
+	"sensei/internal/qoe"
+	"sensei/internal/stats"
+)
+
+// Fig2Row is one model's accuracy on the §2.2 dataset.
+type Fig2Row struct {
+	Model string
+	// MeanRelErr is the mean relative prediction error (x-axis of Fig 2).
+	MeanRelErr float64
+	// DiscordantPct is the fraction of mis-ranked ABR pairs (y-axis).
+	DiscordantPct float64
+}
+
+// Fig2Result compares the QoE models on error and ABR-ranking accuracy.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 reproduces Figure 2: each model's relative prediction error, and how
+// often it flips the QoE ranking of two ABR algorithms on the same
+// (video, trace) pair. As in §2.2, models are trained on the ABR rendering
+// dataset itself; we use 3-fold cross-validation over whole (video, trace)
+// triples so every triple is scored out of fold and both metrics aggregate
+// over the entire dataset.
+func (l *Lab) Fig2() (*Fig2Result, error) {
+	fig2Data, _, err := l.ModelData()
+	if err != nil {
+		return nil, err
+	}
+	weights, _, err := l.Weights()
+	if err != nil {
+		return nil, err
+	}
+	nTriples := len(fig2Data) / 3
+	const folds = 3
+	modelNames := []string{"SENSEI", "KSQI", "P.1203", "LSTM-QoE"}
+	// predictions[model][sample index] = out-of-fold prediction.
+	predictions := map[string][]float64{}
+	for _, name := range modelNames {
+		predictions[name] = make([]float64, len(fig2Data))
+	}
+
+	for fold := 0; fold < folds; fold++ {
+		var train, test []qoe.Sample
+		var testIdx []int
+		for t := 0; t < nTriples; t++ {
+			triple := fig2Data[t*3 : t*3+3]
+			if t%folds == fold {
+				test = append(test, triple...)
+				testIdx = append(testIdx, t*3, t*3+1, t*3+2)
+			} else {
+				train = append(train, triple...)
+			}
+		}
+		ksqi := &qoe.KSQI{}
+		if err := ksqi.Fit(train); err != nil {
+			return nil, err
+		}
+		p1203 := &qoe.P1203{Seed: 0x22 + uint64(fold), Trees: l.forestSize()}
+		if err := p1203.Fit(train); err != nil {
+			return nil, err
+		}
+		lstm := &qoe.LSTMQoE{Seed: 0x24 + uint64(fold), Hidden: 8, Epochs: l.lstmEpochs()}
+		if err := lstm.Fit(train); err != nil {
+			return nil, err
+		}
+		sensei := qoe.NewSenseiModel(ksqi, weights)
+		if err := sensei.Fit(train); err != nil {
+			return nil, err
+		}
+		for _, m := range []qoe.Model{sensei, ksqi, p1203, lstm} {
+			for k, s := range test {
+				predictions[m.Name()][testIdx[k]] = m.Predict(s.Rendering)
+			}
+		}
+	}
+
+	res := &Fig2Result{}
+	for _, name := range modelNames {
+		pred := predictions[name]
+		var relErrs []float64
+		var discordant, pairs int
+		for t := 0; t < nTriples; t++ {
+			var p, truth [3]float64
+			for k := 0; k < 3; k++ {
+				idx := t*3 + k
+				p[k] = pred[idx]
+				truth[k] = fig2Data[idx].TrueQoE
+				relErrs = append(relErrs, stats.RelativeError(p[k], truth[k]))
+			}
+			for a := 0; a < 3; a++ {
+				for b := a + 1; b < 3; b++ {
+					dt := truth[a] - truth[b]
+					// Pairs whose true QoE difference is inside MOS noise
+					// (~0.03 at 30 raters) are unresolvable by any model;
+					// counting them would measure rater noise, not model
+					// ability.
+					if dt < 0.03 && dt > -0.03 {
+						continue
+					}
+					pairs++
+					dp := p[a] - p[b]
+					if dp == 0 || (dt > 0) != (dp > 0) {
+						discordant++
+					}
+				}
+			}
+		}
+		row := Fig2Row{Model: name, MeanRelErr: stats.Mean(relErrs)}
+		if pairs > 0 {
+			row.DiscordantPct = float64(discordant) / float64(pairs)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r *Fig2Result) Render() string {
+	t := &Table{Title: "Figure 2: QoE model error vs discordant ABR rankings",
+		Headers: []string{"Model", "Mean rel. error", "Discordant pairs"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, pct(row.MeanRelErr), pct(row.DiscordantPct))
+	}
+	return t.Render()
+}
+
+// Fig15Row is one model's held-out accuracy.
+type Fig15Row struct {
+	Model      string
+	PLCC, SRCC float64
+	// Scatter holds (predicted, true) pairs for the figure.
+	Scatter [][2]float64
+}
+
+// Fig15Result is the §7.3 model-accuracy study.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 reproduces Figure 15: PLCC/SRCC of each model on the held-out split
+// of the randomized-rendering dataset.
+func (l *Lab) Fig15() (*Fig15Result, error) {
+	_, fig15, err := l.ModelData()
+	if err != nil {
+		return nil, err
+	}
+	ksqi, p1203, lstm, sensei, err := l.Models()
+	if err != nil {
+		return nil, err
+	}
+	test := fig15[len(fig15)*5/8:]
+	res := &Fig15Result{}
+	for _, m := range []qoe.Model{sensei, ksqi, lstm, p1203} {
+		ev := qoe.Evaluate(m, test)
+		row := Fig15Row{Model: m.Name(), PLCC: ev.PLCC, SRCC: ev.SRCC}
+		for _, s := range test {
+			row.Scatter = append(row.Scatter, [2]float64{m.Predict(s.Rendering), s.TrueQoE})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the accuracy table.
+func (r *Fig15Result) Render() string {
+	t := &Table{Title: "Figure 15: QoE prediction accuracy (held-out)",
+		Headers: []string{"Model", "PLCC", "SRCC"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, f2(row.PLCC), f2(row.SRCC))
+	}
+	return t.Render()
+}
+
+// Fig16Point is one (cost, accuracy) operating point of a scheduler knob.
+type Fig16Point struct {
+	Setting      string
+	CostPerMin   float64
+	PLCC         float64
+	RatedVideos  int
+	Participants int
+}
+
+// Fig16Result sweeps the four scheduler parameters.
+type Fig16Result struct {
+	// Panels maps parameter name to its sweep.
+	Panels map[string][]Fig16Point
+}
+
+// fig16EvalSet builds test renderings of one video for accuracy probes.
+func (l *Lab) fig16EvalSet(v int, n int) ([]qoe.Sample, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	vid := l.Videos()[v]
+	rng := stats.NewRNG(0x16e)
+	var out []qoe.Sample
+	offset := 500000
+	for i := 0; i < n; i++ {
+		r := qoe.NewRendering(vid)
+		for c := range r.Rungs {
+			r.Rungs[c] = rng.Intn(len(vid.Ladder))
+		}
+		if rng.Bool(0.6) {
+			r.StallSec[rng.Intn(vid.NumChunks())] += float64(1 + rng.Intn(2))
+		}
+		m, err := l.trueMOS(pop, r, offset)
+		if err != nil {
+			return nil, err
+		}
+		offset += l.raters()
+		out = append(out, qoe.Sample{Rendering: r, TrueQoE: m})
+	}
+	return out, nil
+}
+
+// fig16Accuracy profiles the video with the given params and returns the
+// (cost, PLCC) operating point.
+func (l *Lab) fig16Accuracy(videoIdx int, params crowd.SchedulerParams, eval []qoe.Sample) (Fig16Point, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return Fig16Point{}, err
+	}
+	vid := l.Videos()[videoIdx]
+	profiler := crowd.NewProfiler(pop)
+	profiler.Params = params
+	p, err := profiler.Profile(vid)
+	if err != nil {
+		return Fig16Point{}, err
+	}
+	model := qoe.NewSenseiModel(&qoe.KSQI{}, map[string][]float64{vid.Name: p.Weights})
+	var pred, truth []float64
+	for _, s := range eval {
+		pred = append(pred, model.Predict(s.Rendering))
+		truth = append(truth, s.TrueQoE)
+	}
+	return Fig16Point{
+		CostPerMin:   p.CostPerMinuteUSD,
+		PLCC:         stats.Pearson(pred, truth),
+		RatedVideos:  p.RatedRenderings,
+		Participants: p.Participants,
+	}, nil
+}
+
+// Fig16 reproduces Figure 16: QoE-model accuracy vs crowdsourcing cost as
+// each scheduler knob (B bitrate levels, F rebuffer levels, M raters,
+// α threshold) varies around the default operating point.
+func (l *Lab) Fig16() (*Fig16Result, error) {
+	const videoIdx = 1 // Soccer1
+	evalN := 60
+	if l.Mode == Quick {
+		evalN = 30
+	}
+	eval, err := l.fig16EvalSet(videoIdx, evalN)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{Panels: map[string][]Fig16Point{}}
+
+	add := func(panel, setting string, params crowd.SchedulerParams) error {
+		pt, err := l.fig16Accuracy(videoIdx, params, eval)
+		if err != nil {
+			return fmt.Errorf("experiments: fig16 %s=%s: %w", panel, setting, err)
+		}
+		pt.Setting = setting
+		res.Panels[panel] = append(res.Panels[panel], pt)
+		return nil
+	}
+
+	for _, b := range []int{1, 2, 3, 4} {
+		p := crowd.DefaultSchedulerParams()
+		p.BitrateLevels = b
+		if err := add("B bitrate levels", fmt.Sprintf("B=%d", b), p); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range []int{1, 2, 3, 5} {
+		p := crowd.DefaultSchedulerParams()
+		p.RebufferLevels = f
+		if err := add("F rebuffer levels", fmt.Sprintf("F=%d", f), p); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []int{5, 10, 20, 30} {
+		p := crowd.DefaultSchedulerParams()
+		p.M1 = m
+		p.M2 = m / 2
+		if err := add("M raters per video", fmt.Sprintf("M1=%d", m), p); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range []float64{0.02, 0.06, 0.12, 0.25} {
+		p := crowd.DefaultSchedulerParams()
+		p.Alpha = a
+		if err := add("alpha threshold", fmt.Sprintf("a=%.0f%%", a*100), p); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Render formats the four panels.
+func (r *Fig16Result) Render() string {
+	out := ""
+	for _, panel := range []string{"B bitrate levels", "F rebuffer levels", "M raters per video", "alpha threshold"} {
+		t := &Table{Title: "Figure 16: " + panel, Headers: []string{"Setting", "$/min", "PLCC", "Rated", "Raters"}}
+		for _, pt := range r.Panels[panel] {
+			t.AddRow(pt.Setting, usd(pt.CostPerMin), f2(pt.PLCC), fmt.Sprint(pt.RatedVideos), fmt.Sprint(pt.Participants))
+		}
+		out += t.Render()
+	}
+	return out
+}
+
+// SanityResult is the §4.1 MTurk-vs-in-lab check.
+type SanityResult struct {
+	Clips []string
+	// MTurkMOS and InLabMOS are normalized scores per clip.
+	MTurkMOS, InLabMOS []float64
+	// MaxRelDiffPct is the worst relative disagreement.
+	MaxRelDiffPct float64
+}
+
+// Sanity reproduces the §4.1 sanity check: MOS collected from the
+// crowdsourcing population closely matches an in-lab-style panel on the
+// same clips (paper: <3% relative difference).
+func (l *Lab) Sanity() (*SanityResult, error) {
+	mturk, inlab, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	res := &SanityResult{}
+	clips := []string{"BigBuckBunny", "Soccer2", "Space"}
+	offset := 700000
+	for i, name := range clips {
+		clip := l.excerptByName(name)
+		if clip == nil {
+			return nil, fmt.Errorf("experiments: clip %s missing", name)
+		}
+		r := qoe.NewRendering(clip).WithStall(2, 1).WithRung(4, 1)
+		mt, _, err := mos.CollectMOS(mturk, r, 40, offset)
+		if err != nil {
+			return nil, err
+		}
+		il, _, err := mos.CollectMOS(inlab, r, 40, i*40)
+		if err != nil {
+			return nil, err
+		}
+		res.Clips = append(res.Clips, name)
+		res.MTurkMOS = append(res.MTurkMOS, mt)
+		res.InLabMOS = append(res.InLabMOS, il)
+		d := stats.RelativeError(mt, il)
+		if d > res.MaxRelDiffPct {
+			res.MaxRelDiffPct = d
+		}
+		offset += 40
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r *SanityResult) Render() string {
+	t := &Table{Title: "Sanity (§4.1): MTurk vs in-lab MOS", Headers: []string{"Clip", "MTurk", "In-lab", "Rel diff"}}
+	for i := range r.Clips {
+		t.AddRow(r.Clips[i], f3(r.MTurkMOS[i]), f3(r.InLabMOS[i]), pct(stats.RelativeError(r.MTurkMOS[i], r.InLabMOS[i])))
+	}
+	t.AddRow("max", "", "", pct(r.MaxRelDiffPct))
+	return t.Render()
+}

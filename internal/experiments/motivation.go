@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/mos"
+	"sensei/internal/player"
+	"sensei/internal/stats"
+	"sensei/internal/video"
+)
+
+// Table1Result lists the test video set.
+type Table1Result struct {
+	Rows []video.CatalogEntry
+}
+
+// Table1 reproduces Table 1: the 16-video test set summary.
+func (l *Lab) Table1() *Table1Result {
+	return &Table1Result{Rows: video.Catalog}
+}
+
+// Render formats the table.
+func (r *Table1Result) Render() string {
+	t := &Table{Title: "Table 1: test video set", Headers: []string{"Name", "Genre", "Length", "Source dataset"}}
+	for _, e := range r.Rows {
+		t.AddRow(e.Name, string(e.Genre), fmt.Sprintf("%d:%02d", e.Minutes, e.Seconds), e.SourceDataset)
+	}
+	return t.Render()
+}
+
+// Fig1Result is the Soccer1 rebuffer-position study.
+type Fig1Result struct {
+	// PositionSec is the stall position (seconds from clip start).
+	PositionSec []int
+	// MOS is the crowdsourced QoE of each rendering.
+	MOS []float64
+	// GapPct is (max-min)/min over the series.
+	GapPct float64
+}
+
+// Fig1 reproduces Figure 1: a 1-second rebuffer injected at each chunk of a
+// ~25-second Soccer1 clip produces very different MOS depending on where it
+// lands.
+func (l *Lab) Fig1() (*Fig1Result, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	clip := l.excerptByName("Soccer1")
+	if clip == nil {
+		return nil, fmt.Errorf("experiments: Soccer1 missing from catalog")
+	}
+	series, err := crowd.VideoSeries(clip, crowd.Incident{Kind: crowd.KindRebuffer, StallSec: 1})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{}
+	for i, r := range series {
+		m, err := l.trueMOS(pop, r, 7000+i*l.raters())
+		if err != nil {
+			return nil, err
+		}
+		res.PositionSec = append(res.PositionSec, i*4)
+		res.MOS = append(res.MOS, m)
+	}
+	res.GapPct = (stats.Max(res.MOS) - stats.Min(res.MOS)) / stats.Min(res.MOS)
+	return res, nil
+}
+
+// Render formats the figure data.
+func (r *Fig1Result) Render() string {
+	t := &Table{Title: "Figure 1: QoE vs 1s-rebuffer position (Soccer1 clip)", Headers: []string{"Position", "MOS"}}
+	for i := range r.PositionSec {
+		t.AddRow(fmt.Sprintf("%ds", r.PositionSec[i]), f3(r.MOS[i]))
+	}
+	t.AddRow("max-min gap", pct(r.GapPct))
+	return t.Render()
+}
+
+// excerptByName finds a series-study clip by source video name.
+func (l *Lab) excerptByName(name string) *video.Video {
+	videos := l.Videos()
+	for i, v := range videos {
+		if v.Name == name {
+			return l.excerpts[i]
+		}
+	}
+	return nil
+}
+
+// seriesIncidents are the three §2.3 low-quality incidents.
+func seriesIncidents() []crowd.Incident {
+	return []crowd.Incident{
+		{Kind: crowd.KindRebuffer, StallSec: 1},
+		{Kind: crowd.KindRebuffer, StallSec: 4},
+		{Kind: crowd.KindBitrateDrop, Rung: 0, DropChunks: 1},
+	}
+}
+
+// seriesMOS rates a full video series.
+func (l *Lab) seriesMOS(pop *mos.Population, clip *video.Video, inc crowd.Incident, offset int) ([]float64, error) {
+	series, err := crowd.VideoSeries(clip, inc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(series))
+	for i, r := range series {
+		m, err := l.trueMOS(pop, r, offset+i*l.raters())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Fig3Result is the distribution of max-min QoE gaps.
+type Fig3Result struct {
+	// WholeGaps holds one relative gap per (video, incident) series.
+	WholeGaps []float64
+	// WindowGaps holds gaps localized to 12-second windows.
+	WindowGaps []float64
+	// Above40Pct is the fraction of whole-series gaps above 40%.
+	Above40Pct float64
+}
+
+// Fig3 reproduces Figure 3: the CDF of (Qmax-Qmin)/Qmin across 48 video
+// series (16 clips × 3 incidents), plus the 12-second-window variant.
+func (l *Lab) Fig3() (*Fig3Result, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
+	offset := 30000
+	for _, clip := range l.Excerpts() {
+		for _, inc := range seriesIncidents() {
+			ms, err := l.seriesMOS(pop, clip, inc, offset)
+			if err != nil {
+				return nil, err
+			}
+			offset += len(ms) * l.raters()
+			gap := (stats.Max(ms) - stats.Min(ms)) / stats.Min(ms)
+			res.WholeGaps = append(res.WholeGaps, gap)
+			// 12-second windows (3 chunks) at 4-second boundaries.
+			for s := 0; s+3 <= len(ms); s++ {
+				win := ms[s : s+3]
+				res.WindowGaps = append(res.WindowGaps, (stats.Max(win)-stats.Min(win))/stats.Min(win))
+			}
+		}
+	}
+	res.Above40Pct = 1 - stats.FractionAtMost(res.WholeGaps, 0.40)
+	return res, nil
+}
+
+// Render formats the CDF summaries.
+func (r *Fig3Result) Render() string {
+	probes := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	out := RenderCDF("Figure 3: max-min QoE gap CDF (whole series)", r.WholeGaps, probes)
+	out += RenderCDF("Figure 3: max-min QoE gap CDF (12s windows)", r.WindowGaps, probes)
+	out += fmt.Sprintf("series with gap > 40%%: %s (paper: 21/48)\n", pct(r.Above40Pct))
+	return out
+}
+
+// Fig4Result is the per-position QoE for three incidents on one clip.
+type Fig4Result struct {
+	PositionSec []int
+	// MOS[incident][position].
+	MOS [3][]float64
+	// Incidents labels the rows.
+	Incidents [3]string
+}
+
+// Fig4 reproduces Figure 4: the same clip with a 1-second stall, 4-second
+// stall and a bitrate drop injected at each position — absolute QoE differs
+// by incident, but the shape over positions matches.
+func (l *Lab) Fig4() (*Fig4Result, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	clip := l.excerptByName("Soccer1")
+	res := &Fig4Result{}
+	offset := 90000
+	for k, inc := range seriesIncidents() {
+		ms, err := l.seriesMOS(pop, clip, inc, offset)
+		if err != nil {
+			return nil, err
+		}
+		offset += len(ms) * l.raters()
+		res.MOS[k] = ms
+		res.Incidents[k] = inc.String()
+	}
+	for i := range res.MOS[0] {
+		res.PositionSec = append(res.PositionSec, i*4)
+	}
+	return res, nil
+}
+
+// Render formats the three series.
+func (r *Fig4Result) Render() string {
+	t := &Table{Title: "Figure 4: QoE vs incident position (Soccer1 clip)",
+		Headers: []string{"Position", r.Incidents[0], r.Incidents[1], r.Incidents[2]}}
+	for i := range r.PositionSec {
+		t.AddRow(fmt.Sprintf("%ds", r.PositionSec[i]), f3(r.MOS[0][i]), f3(r.MOS[1][i]), f3(r.MOS[2][i]))
+	}
+	return t.Render()
+}
+
+// Fig5Result is the cross-incident rank correlation per video.
+type Fig5Result struct {
+	Videos []string
+	// Rebuf1Vs4 is SRCC between the 1s- and 4s-rebuffer series.
+	Rebuf1Vs4 []float64
+	// RebufVsDrop is SRCC between the 1s-rebuffer and bitrate-drop series.
+	RebufVsDrop []float64
+}
+
+// Fig5 reproduces Figure 5: quality sensitivity is inherent to content —
+// series built from different incidents rank positions the same way.
+func (l *Lab) Fig5() (*Fig5Result, error) {
+	pop, _, err := l.Populations()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	incidents := seriesIncidents()
+	offset := 140000
+	for _, clip := range l.Excerpts() {
+		var series [3][]float64
+		for k, inc := range incidents {
+			ms, err := l.seriesMOS(pop, clip, inc, offset)
+			if err != nil {
+				return nil, err
+			}
+			offset += len(ms) * l.raters()
+			series[k] = ms
+		}
+		res.Videos = append(res.Videos, clip.Name)
+		res.Rebuf1Vs4 = append(res.Rebuf1Vs4, stats.Spearman(series[0], series[1]))
+		res.RebufVsDrop = append(res.RebufVsDrop, stats.Spearman(series[0], series[2]))
+	}
+	return res, nil
+}
+
+// Render formats per-video correlations.
+func (r *Fig5Result) Render() string {
+	t := &Table{Title: "Figure 5: cross-incident rank correlation (SRCC)",
+		Headers: []string{"Video", "1s vs 4s rebuffer", "1s rebuffer vs drop"}}
+	for i := range r.Videos {
+		t.AddRow(r.Videos[i], f2(r.Rebuf1Vs4[i]), f2(r.RebufVsDrop[i]))
+	}
+	t.AddRow("mean", f2(stats.Mean(r.Rebuf1Vs4)), f2(stats.Mean(r.RebufVsDrop)))
+	return t.Render()
+}
+
+// Fig6Result is the idealized potential-gain study.
+type Fig6Result struct {
+	// ScalePct is the trace rescale factor.
+	ScalePct []int
+	// MeanThroughputMbps per scale.
+	MeanThroughputMbps []float64
+	// AwareQoE and UnawareQoE are averages across videos.
+	AwareQoE, UnawareQoE []float64
+}
+
+// Fig6 reproduces Figure 6: two offline oracles with full trace knowledge,
+// one optimizing the sensitivity-weighted QoE and one the unweighted QoE,
+// across bandwidth scales. True (weighted) QoE is reported for both.
+func (l *Lab) Fig6() (*Fig6Result, error) {
+	videos := l.Videos()
+	if l.Mode == Quick {
+		videos = videos[:4]
+	}
+	base := l.TestTraces()[6] // fcc-2.8M, a mid trace like the paper's pick
+	res := &Fig6Result{}
+	for _, scalePct := range []int{20, 40, 60, 80, 100} {
+		tr := base.Scaled(float64(scalePct) / 100)
+		var aware, unaware float64
+		for _, v := range videos {
+			w := v.TrueSensitivity()
+			ra, err := player.Play(v, tr, abr.NewOracle(tr, true), w, player.Config{})
+			if err != nil {
+				return nil, err
+			}
+			ru, err := player.Play(v, tr, abr.NewOracle(tr, false), nil, player.Config{})
+			if err != nil {
+				return nil, err
+			}
+			aware += mos.TrueQoE(ra.Rendering)
+			unaware += mos.TrueQoE(ru.Rendering)
+		}
+		res.ScalePct = append(res.ScalePct, scalePct)
+		res.MeanThroughputMbps = append(res.MeanThroughputMbps, tr.Mean()/1e6)
+		res.AwareQoE = append(res.AwareQoE, aware/float64(len(videos)))
+		res.UnawareQoE = append(res.UnawareQoE, unaware/float64(len(videos)))
+	}
+	return res, nil
+}
+
+// Render formats the two curves.
+func (r *Fig6Result) Render() string {
+	t := &Table{Title: "Figure 6: potential gains of sensitivity-aware ABR (offline oracles)",
+		Headers: []string{"Scale", "Mbps", "Aware QoE", "Unaware QoE", "QoE gain"}}
+	for i := range r.ScalePct {
+		gain := (r.AwareQoE[i] - r.UnawareQoE[i]) / r.UnawareQoE[i]
+		t.AddRow(fmt.Sprintf("%d%%", r.ScalePct[i]), f2(r.MeanThroughputMbps[i]),
+			f3(r.AwareQoE[i]), f3(r.UnawareQoE[i]), pct(gain))
+	}
+	return t.Render()
+}
+
+// qoeOfResult is a shorthand used across end-to-end figures: the crowd MOS
+// of a finished session.
+func (l *Lab) qoeOfResult(pop *mos.Population, res *player.Result, offset int) (float64, error) {
+	return l.trueMOS(pop, res.Rendering, offset)
+}

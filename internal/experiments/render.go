@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sensei/internal/stats"
+)
+
+// Table renders rows of labelled values as a fixed-width ASCII table.
+type Table struct {
+	// Title is printed above the table.
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// usd formats dollars.
+func usd(x float64) string { return fmt.Sprintf("$%.1f", x) }
+
+// RenderCDF formats an empirical CDF at the given fractions.
+func RenderCDF(title string, xs []float64, probes []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, p := range probes {
+		fmt.Fprintf(&b, "p%02.0f: %8.3f\n", p*100, stats.Percentile(xs, p))
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+// Package mos simulates the human side of SENSEI's pipeline: ground-truth
+// quality of experience and the crowdsourced raters who reveal it.
+//
+// The ground truth is where the latent per-chunk attention signal enters the
+// system. TrueQoE computes the sensitivity-weighted quality of a rendering
+// using the video's hidden TrueSensitivity weights — the quantity real users
+// would experience and that the paper measures with MTurk MOS studies.
+// Everything downstream (QoE models, the crowd scheduler, ABR evaluation)
+// may only observe it through noisy rater samples, never directly, mirroring
+// how the real system can only run user studies.
+package mos
+
+import (
+	"fmt"
+	"math"
+
+	"sensei/internal/qoe"
+	"sensei/internal/stats"
+)
+
+// Scale bounds of the Likert rating scale used in the surveys (§4.1).
+const (
+	LikertMin = 1
+	LikertMax = 5
+)
+
+// TrueQoE returns the ground-truth normalized QoE of a rendering:
+// 1 − (1/N) Σ w*_i d_i, the per-chunk quality deficits weighted by the
+// video's latent sensitivity, clamped to [0,1]. This plays the role of the
+// asymptotic MOS over infinitely many honest raters: pristine playback
+// scores 1 regardless of content, and each incident subtracts in proportion
+// to how closely users were watching when it happened.
+func TrueQoE(r *qoe.Rendering) float64 {
+	return qoe.QoE01(qoe.DefaultQualityParams(), r, r.Video.TrueSensitivity())
+}
+
+// TrueQoEUnweighted ignores sensitivity weights — the QoE a content-blind
+// model would consider "true". Used only by tests and diagnostics.
+func TrueQoEUnweighted(r *qoe.Rendering) float64 {
+	return qoe.QoE01(qoe.DefaultQualityParams(), r, nil)
+}
+
+// Rater is one simulated study participant. Raters differ in bias (some are
+// generous), consistency (noise), and diligence (probability of watching
+// the whole video / answering attention checks correctly).
+type Rater struct {
+	// ID identifies the rater across campaigns.
+	ID int
+	// Bias shifts all of this rater's scores on the 1-5 scale.
+	Bias float64
+	// Noise is the standard deviation of per-rating noise on the 1-5 scale.
+	Noise float64
+	// Diligence is the probability of passing each integrity check
+	// (watching fully, confirming the observed incident).
+	Diligence float64
+	// Master marks "master Turkers" (Appendix C): more reliable, pricier.
+	Master bool
+
+	rng *stats.RNG
+}
+
+// Population is a pool of raters with deterministic behaviour.
+type Population struct {
+	raters []*Rater
+}
+
+// PopulationConfig controls rater synthesis.
+type PopulationConfig struct {
+	// Size is the number of raters available.
+	Size int
+	// MasterFraction is the share of master Turkers (default 1.0: the
+	// paper restricts studies to master Turkers, Appendix C).
+	MasterFraction float64
+	// Seed makes the population deterministic.
+	Seed uint64
+}
+
+// NewPopulation synthesizes a rater pool. Master raters have tighter noise,
+// smaller bias and near-perfect diligence; normal raters are about 4× more
+// likely to fail integrity checks, matching the paper's observed rejection
+// gap.
+func NewPopulation(cfg PopulationConfig) (*Population, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mos: population size %d", cfg.Size)
+	}
+	mf := cfg.MasterFraction
+	if mf <= 0 || mf > 1 {
+		mf = 1
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x9a7e5)
+	p := &Population{}
+	for i := 0; i < cfg.Size; i++ {
+		master := float64(i) < mf*float64(cfg.Size)
+		r := &Rater{ID: i, Master: master, rng: rng.Fork()}
+		if master {
+			r.Bias = 0.25 * rng.Norm()
+			r.Noise = 0.35 + 0.15*rng.Float64()
+			r.Diligence = 0.995
+		} else {
+			r.Bias = 0.5 * rng.Norm()
+			r.Noise = 0.5 + 0.3*rng.Float64()
+			r.Diligence = 0.98
+		}
+		p.raters = append(p.raters, r)
+	}
+	return p, nil
+}
+
+// Size returns the number of raters in the pool.
+func (p *Population) Size() int { return len(p.raters) }
+
+// Rater returns the i-th rater.
+func (p *Population) Rater(i int) *Rater { return p.raters[i] }
+
+// Rate returns this rater's Likert score (1-5) for a rendering. The score
+// is the ground-truth QoE mapped to the scale, plus rater bias and noise,
+// rounded and clamped.
+func (r *Rater) Rate(rendering *qoe.Rendering) int {
+	base := LikertMin + (LikertMax-LikertMin)*TrueQoE(rendering)
+	score := base + r.Bias + r.Noise*r.rng.Norm()
+	v := int(math.Round(score))
+	if v < LikertMin {
+		v = LikertMin
+	}
+	if v > LikertMax {
+		v = LikertMax
+	}
+	return v
+}
+
+// PassesIntegrityChecks reports whether the rater watched fully and
+// answered the incident-confirmation question correctly this time.
+func (r *Rater) PassesIntegrityChecks() bool {
+	return r.rng.Bool(r.Diligence)
+}
+
+// WouldInvertReference reports whether the rater would (incorrectly) rate a
+// degraded rendering above the pristine reference — the paper's rejection
+// criterion. Modeled as a noise-driven event: raters whose noise draw on the
+// reference falls far below their draw on the degraded clip.
+func (r *Rater) WouldInvertReference(degraded *qoe.Rendering) bool {
+	ref := LikertMax + r.Bias + r.Noise*r.rng.Norm()
+	deg := LikertMin + (LikertMax-LikertMin)*TrueQoE(degraded) + r.Bias + r.Noise*r.rng.Norm()
+	return math.Round(deg) > math.Round(ref)
+}
+
+// MOS aggregates Likert ratings into a mean opinion score normalized to
+// [0,1] (the paper normalizes model outputs and MOS to the same range).
+func MOS(ratings []int) (float64, error) {
+	if len(ratings) == 0 {
+		return 0, fmt.Errorf("mos: no ratings to aggregate")
+	}
+	var s float64
+	for _, v := range ratings {
+		if v < LikertMin || v > LikertMax {
+			return 0, fmt.Errorf("mos: rating %d outside %d-%d", v, LikertMin, LikertMax)
+		}
+		s += float64(v)
+	}
+	mean := s / float64(len(ratings))
+	return (mean - LikertMin) / (LikertMax - LikertMin), nil
+}
+
+// CollectMOS rates a rendering with n raters drawn round-robin from the
+// population starting at offset, applying integrity filtering: raters who
+// fail checks or invert the reference are rejected and replaced. It returns
+// the normalized MOS and the number of rejected raters.
+func CollectMOS(p *Population, rendering *qoe.Rendering, n, offset int) (float64, int, error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("mos: need at least one rating")
+	}
+	var ratings []int
+	rejected := 0
+	idx := offset
+	attempts := 0
+	for len(ratings) < n {
+		if attempts > 20*n {
+			return 0, rejected, fmt.Errorf("mos: could not collect %d clean ratings (pool too unreliable)", n)
+		}
+		attempts++
+		r := p.raters[idx%len(p.raters)]
+		idx++
+		if !r.PassesIntegrityChecks() || r.WouldInvertReference(rendering) {
+			rejected++
+			continue
+		}
+		ratings = append(ratings, r.Rate(rendering))
+	}
+	m, err := MOS(ratings)
+	return m, rejected, err
+}

@@ -1,0 +1,326 @@
+// Package nn is a small, stdlib-only machine-learning substrate for SENSEI's
+// learned components: a dense multilayer perceptron with policy-gradient
+// training (Pensieve and SENSEI-Pensieve), an LSTM cell with truncated BPTT
+// (the LSTM-QoE baseline), and regression trees with bagging (the P.1203
+// random-forest baseline).
+//
+// All arithmetic is float64 and deterministic given a seed; no goroutines
+// are used during training so results are bit-reproducible.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"sensei/internal/stats"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	// Linear applies no nonlinearity.
+	Linear Activation = iota
+	// ReLU applies max(0, x).
+	ReLU
+	// Tanh applies the hyperbolic tangent.
+	Tanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative computes d(act)/dx given the activated output y.
+func (a Activation) derivative(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// layer is one dense layer: out = act(W x + b).
+type layer struct {
+	in, out int
+	act     Activation
+	w       []float64 // row-major out×in
+	b       []float64
+
+	// Adam moments.
+	mw, vw, mb, vb []float64
+}
+
+func newLayer(in, out int, act Activation, rng *stats.RNG) *layer {
+	l := &layer{in: in, out: out, act: act}
+	l.w = make([]float64, in*out)
+	l.b = make([]float64, out)
+	l.mw = make([]float64, in*out)
+	l.vw = make([]float64, in*out)
+	l.mb = make([]float64, out)
+	l.vb = make([]float64, out)
+	// Xavier-style initialization keeps activations well scaled.
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range l.w {
+		l.w[i] = scale * rng.Norm()
+	}
+	return l
+}
+
+func (l *layer) forward(x []float64, out []float64) {
+	for o := 0; o < l.out; o++ {
+		s := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = l.act.apply(s)
+	}
+}
+
+// MLP is a feed-forward network with dense layers.
+type MLP struct {
+	layers []*layer
+	sizes  []int
+
+	// scratch buffers reused across calls; indexed per layer.
+	acts [][]float64
+	// accumulated gradients (same shapes as weights).
+	gw, gb [][]float64
+	step   int
+}
+
+// NewMLP builds a network with the given layer sizes, e.g. sizes
+// [12, 32, 5] is a 12-input, one-hidden-layer (32 ReLU units), 5-output
+// network. The final layer is linear; hidden layers use ReLU.
+func NewMLP(seed uint64, sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least 2 sizes, got %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: invalid layer size in %v", sizes)
+		}
+	}
+	rng := stats.NewRNG(seed ^ 0x11e7)
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := ReLU
+		if i == len(sizes)-2 {
+			act = Linear
+		}
+		m.layers = append(m.layers, newLayer(sizes[i], sizes[i+1], act, rng))
+	}
+	m.acts = make([][]float64, len(sizes))
+	for i, s := range sizes {
+		m.acts[i] = make([]float64, s)
+	}
+	m.gw = make([][]float64, len(m.layers))
+	m.gb = make([][]float64, len(m.layers))
+	for i, l := range m.layers {
+		m.gw[i] = make([]float64, len(l.w))
+		m.gb[i] = make([]float64, len(l.b))
+	}
+	return m, nil
+}
+
+// InputSize returns the expected input width.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the output width.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+// Forward runs the network and returns the output activations. The returned
+// slice is owned by the MLP and overwritten by the next call; callers that
+// retain it must copy.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.sizes[0]))
+	}
+	copy(m.acts[0], x)
+	for i, l := range m.layers {
+		l.forward(m.acts[i], m.acts[i+1])
+	}
+	return m.acts[len(m.acts)-1]
+}
+
+// Backward accumulates gradients for one example given dLoss/dOutput. It
+// must be called immediately after Forward on the same input.
+func (m *MLP) Backward(dOut []float64) {
+	if len(dOut) != m.OutputSize() {
+		panic(fmt.Sprintf("nn: grad size %d, want %d", len(dOut), m.OutputSize()))
+	}
+	delta := append([]float64(nil), dOut...)
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		l := m.layers[li]
+		in := m.acts[li]
+		out := m.acts[li+1]
+		// Chain through activation.
+		for o := 0; o < l.out; o++ {
+			delta[o] *= l.act.derivative(out[o])
+		}
+		// Accumulate gradients.
+		for o := 0; o < l.out; o++ {
+			m.gb[li][o] += delta[o]
+			base := o * l.in
+			for i := 0; i < l.in; i++ {
+				m.gw[li][base+i] += delta[o] * in[i]
+			}
+		}
+		// Propagate to previous layer.
+		if li > 0 {
+			prev := make([]float64, l.in)
+			for i := 0; i < l.in; i++ {
+				var s float64
+				for o := 0; o < l.out; o++ {
+					s += l.w[o*l.in+i] * delta[o]
+				}
+				prev[i] = s
+			}
+			delta = prev
+		}
+	}
+}
+
+// Adam hyperparameters.
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// Step applies one Adam update using the accumulated gradients (averaged
+// over batch examples) and clears them. lr is the learning rate; clip, if
+// positive, bounds the global gradient norm.
+func (m *MLP) Step(lr float64, batch int, clip float64) {
+	if batch < 1 {
+		batch = 1
+	}
+	inv := 1 / float64(batch)
+	// Optional global-norm clipping.
+	if clip > 0 {
+		var norm float64
+		for li := range m.layers {
+			for _, g := range m.gw[li] {
+				norm += g * g * inv * inv
+			}
+			for _, g := range m.gb[li] {
+				norm += g * g * inv * inv
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > clip {
+			inv *= clip / norm
+		}
+	}
+	m.step++
+	bc1 := 1 - math.Pow(adamBeta1, float64(m.step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(m.step))
+	for li, l := range m.layers {
+		for i := range l.w {
+			g := m.gw[li][i] * inv
+			l.mw[i] = adamBeta1*l.mw[i] + (1-adamBeta1)*g
+			l.vw[i] = adamBeta2*l.vw[i] + (1-adamBeta2)*g*g
+			l.w[i] -= lr * (l.mw[i] / bc1) / (math.Sqrt(l.vw[i]/bc2) + adamEps)
+			m.gw[li][i] = 0
+		}
+		for i := range l.b {
+			g := m.gb[li][i] * inv
+			l.mb[i] = adamBeta1*l.mb[i] + (1-adamBeta1)*g
+			l.vb[i] = adamBeta2*l.vb[i] + (1-adamBeta2)*g*g
+			l.b[i] -= lr * (l.mb[i] / bc1) / (math.Sqrt(l.vb[i]/bc2) + adamEps)
+			m.gb[li][i] = 0
+		}
+	}
+}
+
+// Snapshot captures the network's weights (not optimizer state) for later
+// restoration — used by trainers that keep the best-validating policy.
+func (m *MLP) Snapshot() [][]float64 {
+	out := make([][]float64, 0, 2*len(m.layers))
+	for _, l := range m.layers {
+		out = append(out, append([]float64(nil), l.w...))
+		out = append(out, append([]float64(nil), l.b...))
+	}
+	return out
+}
+
+// Restore loads weights captured by Snapshot. It panics on a shape
+// mismatch, which indicates snapshots from a different architecture.
+func (m *MLP) Restore(snap [][]float64) {
+	if len(snap) != 2*len(m.layers) {
+		panic(fmt.Sprintf("nn: snapshot has %d tensors, want %d", len(snap), 2*len(m.layers)))
+	}
+	for i, l := range m.layers {
+		if len(snap[2*i]) != len(l.w) || len(snap[2*i+1]) != len(l.b) {
+			panic("nn: snapshot shape mismatch")
+		}
+		copy(l.w, snap[2*i])
+		copy(l.b, snap[2*i+1])
+	}
+}
+
+// Softmax writes the softmax of logits into out (allocating when out is nil)
+// and returns it. It is numerically stable for large logits.
+func Softmax(logits, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(logits))
+	}
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxL)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the probability vector p.
+func SampleCategorical(p []float64, rng *stats.RNG) int {
+	u := rng.Float64()
+	var c float64
+	for i, v := range p {
+		c += v
+		if u < c {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

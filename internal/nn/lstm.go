@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"sensei/internal/stats"
+)
+
+// LSTMRegressor is a single-layer LSTM followed by a linear readout from the
+// time-averaged hidden state: it maps a variable-length sequence of feature
+// vectors to one scalar. This is the architecture class of the LSTM-QoE
+// baseline, which models the "memory effect" of past quality incidents on
+// perception. (Mean-pooling the hidden states instead of reading only the
+// final one keeps gradients healthy on minute-long chunk sequences.)
+type LSTMRegressor struct {
+	in, hidden int
+
+	// Gate weights, each hidden×(in+hidden), row-major; order i, f, o, g.
+	wi, wf, wo, wg []float64
+	bi, bf, bo, bg []float64
+	// Readout.
+	wy []float64
+	by float64
+
+	// Adam state per parameter group.
+	adam map[string]*adamState
+	step int
+}
+
+type adamState struct{ m, v []float64 }
+
+// NewLSTMRegressor builds an LSTM with the given input width and hidden
+// size.
+func NewLSTMRegressor(seed uint64, in, hidden int) (*LSTMRegressor, error) {
+	if in < 1 || hidden < 1 {
+		return nil, fmt.Errorf("nn: invalid LSTM dims in=%d hidden=%d", in, hidden)
+	}
+	rng := stats.NewRNG(seed ^ 0x157a)
+	l := &LSTMRegressor{in: in, hidden: hidden}
+	width := in + hidden
+	mk := func() []float64 {
+		w := make([]float64, hidden*width)
+		scale := math.Sqrt(1.0 / float64(width))
+		for i := range w {
+			w[i] = scale * rng.Norm()
+		}
+		return w
+	}
+	l.wi, l.wf, l.wo, l.wg = mk(), mk(), mk(), mk()
+	l.bi = make([]float64, hidden)
+	l.bf = make([]float64, hidden)
+	l.bo = make([]float64, hidden)
+	l.bg = make([]float64, hidden)
+	// Forget-gate bias starts positive so early training retains memory.
+	for i := range l.bf {
+		l.bf[i] = 1
+	}
+	l.wy = make([]float64, hidden)
+	for i := range l.wy {
+		l.wy[i] = 0.1 * rng.Norm()
+	}
+	l.adam = map[string]*adamState{}
+	return l, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// cellState captures one timestep's intermediate values for BPTT.
+type cellState struct {
+	x          []float64 // input
+	i, f, o, g []float64 // gate activations
+	c, h       []float64 // cell and hidden state after the step
+	cPrev      []float64
+	hPrev      []float64
+}
+
+// forward runs the full sequence, returning the prediction and the per-step
+// cache for backprop.
+func (l *LSTMRegressor) forward(seq [][]float64) (float64, []*cellState) {
+	h := make([]float64, l.hidden)
+	c := make([]float64, l.hidden)
+	states := make([]*cellState, 0, len(seq))
+	width := l.in + l.hidden
+	z := make([]float64, width)
+	for _, x := range seq {
+		st := &cellState{
+			x:     append([]float64(nil), x...),
+			i:     make([]float64, l.hidden),
+			f:     make([]float64, l.hidden),
+			o:     make([]float64, l.hidden),
+			g:     make([]float64, l.hidden),
+			c:     make([]float64, l.hidden),
+			h:     make([]float64, l.hidden),
+			cPrev: append([]float64(nil), c...),
+			hPrev: append([]float64(nil), h...),
+		}
+		copy(z, x)
+		copy(z[l.in:], h)
+		for u := 0; u < l.hidden; u++ {
+			base := u * width
+			si, sf, so, sg := l.bi[u], l.bf[u], l.bo[u], l.bg[u]
+			for k := 0; k < width; k++ {
+				si += l.wi[base+k] * z[k]
+				sf += l.wf[base+k] * z[k]
+				so += l.wo[base+k] * z[k]
+				sg += l.wg[base+k] * z[k]
+			}
+			st.i[u] = sigmoid(si)
+			st.f[u] = sigmoid(sf)
+			st.o[u] = sigmoid(so)
+			st.g[u] = math.Tanh(sg)
+			st.c[u] = st.f[u]*c[u] + st.i[u]*st.g[u]
+			st.h[u] = st.o[u] * math.Tanh(st.c[u])
+		}
+		copy(c, st.c)
+		copy(h, st.h)
+		states = append(states, st)
+	}
+	// Mean-pooled readout over all hidden states.
+	y := l.by
+	invT := 1 / float64(len(states))
+	for _, st := range states {
+		for u := 0; u < l.hidden; u++ {
+			y += l.wy[u] * st.h[u] * invT
+		}
+	}
+	return y, states
+}
+
+// Predict returns the scalar output for a sequence. Empty sequences return
+// the bias alone.
+func (l *LSTMRegressor) Predict(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return l.by
+	}
+	y, _ := l.forward(seq)
+	return y
+}
+
+// SeqSample is one training example: a sequence and its scalar target.
+type SeqSample struct {
+	Seq    [][]float64
+	Target float64
+}
+
+// Fit trains the regressor with full-sequence BPTT and Adam for the given
+// number of epochs. Returns the final mean squared error.
+func (l *LSTMRegressor) Fit(samples []SeqSample, epochs int, lr float64, seed uint64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no LSTM training samples")
+	}
+	for _, s := range samples {
+		for _, x := range s.Seq {
+			if len(x) != l.in {
+				return 0, fmt.Errorf("nn: sequence feature width %d, want %d", len(x), l.in)
+			}
+		}
+	}
+	rng := stats.NewRNG(seed ^ 0xbacca)
+	var mse float64
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(len(samples))
+		mse = 0
+		for _, idx := range perm {
+			s := samples[idx]
+			if len(s.Seq) == 0 {
+				continue
+			}
+			y, states := l.forward(s.Seq)
+			diff := y - s.Target
+			mse += diff * diff
+			l.backward(states, diff, lr)
+		}
+		mse /= float64(len(samples))
+	}
+	return mse, nil
+}
+
+// backward runs BPTT for one sequence and immediately applies an Adam step.
+func (l *LSTMRegressor) backward(states []*cellState, dY float64, lr float64) {
+	width := l.in + l.hidden
+	gwi := make([]float64, l.hidden*width)
+	gwf := make([]float64, l.hidden*width)
+	gwo := make([]float64, l.hidden*width)
+	gwg := make([]float64, l.hidden*width)
+	gbi := make([]float64, l.hidden)
+	gbf := make([]float64, l.hidden)
+	gbo := make([]float64, l.hidden)
+	gbg := make([]float64, l.hidden)
+	gwy := make([]float64, l.hidden)
+
+	invT := 1 / float64(len(states))
+	dh := make([]float64, l.hidden)
+	dc := make([]float64, l.hidden)
+	for _, st := range states {
+		for u := 0; u < l.hidden; u++ {
+			gwy[u] += dY * st.h[u] * invT
+		}
+	}
+	gby := dY
+
+	z := make([]float64, width)
+	for t := len(states) - 1; t >= 0; t-- {
+		st := states[t]
+		copy(z, st.x)
+		copy(z[l.in:], st.hPrev)
+		// Mean-pooled readout: every timestep receives a share of dY.
+		for u := 0; u < l.hidden; u++ {
+			dh[u] += dY * l.wy[u] * invT
+		}
+		dhNext := make([]float64, l.hidden)
+		dcNext := make([]float64, l.hidden)
+		for u := 0; u < l.hidden; u++ {
+			tanhC := math.Tanh(st.c[u])
+			do := dh[u] * tanhC * st.o[u] * (1 - st.o[u])
+			dcU := dc[u] + dh[u]*st.o[u]*(1-tanhC*tanhC)
+			di := dcU * st.g[u] * st.i[u] * (1 - st.i[u])
+			dg := dcU * st.i[u] * (1 - st.g[u]*st.g[u])
+			df := dcU * st.cPrev[u] * st.f[u] * (1 - st.f[u])
+			dcNext[u] = dcU * st.f[u]
+			base := u * width
+			for k := 0; k < width; k++ {
+				gwi[base+k] += di * z[k]
+				gwf[base+k] += df * z[k]
+				gwo[base+k] += do * z[k]
+				gwg[base+k] += dg * z[k]
+				if k >= l.in {
+					dhNext[k-l.in] += l.wi[base+k]*di + l.wf[base+k]*df + l.wo[base+k]*do + l.wg[base+k]*dg
+				}
+			}
+			gbi[u] += di
+			gbf[u] += df
+			gbo[u] += do
+			gbg[u] += dg
+		}
+		dh, dc = dhNext, dcNext
+	}
+
+	l.step++
+	l.adamUpdate("wi", l.wi, gwi, lr)
+	l.adamUpdate("wf", l.wf, gwf, lr)
+	l.adamUpdate("wo", l.wo, gwo, lr)
+	l.adamUpdate("wg", l.wg, gwg, lr)
+	l.adamUpdate("bi", l.bi, gbi, lr)
+	l.adamUpdate("bf", l.bf, gbf, lr)
+	l.adamUpdate("bo", l.bo, gbo, lr)
+	l.adamUpdate("bg", l.bg, gbg, lr)
+	l.adamUpdate("wy", l.wy, gwy, lr)
+	by := []float64{l.by}
+	l.adamUpdate("by", by, []float64{gby}, lr)
+	l.by = by[0]
+}
+
+func (l *LSTMRegressor) adamUpdate(key string, params, grads []float64, lr float64) {
+	st, ok := l.adam[key]
+	if !ok {
+		st = &adamState{m: make([]float64, len(params)), v: make([]float64, len(params))}
+		l.adam[key] = st
+	}
+	bc1 := 1 - math.Pow(adamBeta1, float64(l.step))
+	bc2 := 1 - math.Pow(adamBeta2, float64(l.step))
+	for i := range params {
+		g := grads[i]
+		// Per-element clip keeps exploding BPTT gradients in check.
+		if g > 5 {
+			g = 5
+		} else if g < -5 {
+			g = -5
+		}
+		st.m[i] = adamBeta1*st.m[i] + (1-adamBeta1)*g
+		st.v[i] = adamBeta2*st.v[i] + (1-adamBeta2)*g*g
+		params[i] -= lr * (st.m[i] / bc1) / (math.Sqrt(st.v[i]/bc2) + adamEps)
+	}
+}

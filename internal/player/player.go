@@ -1,0 +1,220 @@
+// Package player simulates DASH video playback: chunk downloads against a
+// throughput trace, buffer dynamics, rebuffering, and SENSEI's proactive
+// rebuffering action. A Session drives an ABR Algorithm chunk by chunk and
+// produces the qoe.Rendering that the QoE models and user studies consume.
+//
+// The simulator follows the standard discrete-event model used by the ABR
+// literature (and by the paper's own emulation methodology, §2.2): playback
+// drains the buffer while each chunk downloads; an empty buffer stalls
+// playback until the in-flight chunk lands; a full buffer pauses downloads.
+package player
+
+import (
+	"fmt"
+
+	"sensei/internal/qoe"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// Decision is an ABR algorithm's choice for the next chunk.
+type Decision struct {
+	// Rung is the ladder index to download the next chunk at.
+	Rung int
+	// PreStallSec asks the player to deliberately pause playback for this
+	// long before the chunk plays, even though the buffer is not empty —
+	// SENSEI's new adaptation action (§5.1). The player implements it the
+	// way §6 describes: the downloaded chunk is withheld from the playback
+	// buffer for the given delay while downloading continues, so the
+	// buffer gains the stall duration.
+	PreStallSec float64
+}
+
+// State is the observable player state handed to the ABR algorithm before
+// each chunk download. It mirrors Fig 10: buffer, throughput history, chunk
+// sizes, and — uniquely to SENSEI — the sensitivity weights of upcoming
+// chunks.
+type State struct {
+	// Video is the content being streamed (chunk sizes, ladder).
+	Video *video.Video
+	// ChunkIndex is the next chunk to download (0-based).
+	ChunkIndex int
+	// BufferSec is the current playback buffer level in seconds.
+	BufferSec float64
+	// LastRung is the rung of the previously downloaded chunk, or -1.
+	LastRung int
+	// ThroughputBps holds recent per-chunk measured throughputs, most
+	// recent last. Empty before the first download.
+	ThroughputBps []float64
+	// DownloadSec holds the matching download durations.
+	DownloadSec []float64
+	// Weights holds per-chunk sensitivity weights for the whole video, or
+	// nil when the video was not profiled. Sensitivity-aware algorithms
+	// read Weights[ChunkIndex:]; others ignore it.
+	Weights []float64
+	// TraceTimeSec is the current position on the throughput trace clock.
+	// Online algorithms must ignore it; it exists so the idealized offline
+	// oracles of §2.4 (which are defined to know the whole trace) can look
+	// up true future throughput.
+	TraceTimeSec float64
+}
+
+// Algorithm selects the delivery of the next chunk from player state.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Decide picks the next chunk's rung and optional proactive stall.
+	Decide(s *State) Decision
+}
+
+// Config parameterizes a playback session.
+type Config struct {
+	// MaxBufferSec caps the playback buffer (default 60, as in DASH.js).
+	MaxBufferSec float64
+	// HistoryLen bounds the throughput history given to the ABR
+	// (default 8).
+	HistoryLen int
+	// MaxPreStallSec caps a single proactive stall (default 2, the
+	// paper's action space {0,1,2}).
+	MaxPreStallSec float64
+}
+
+func (c *Config) defaults() {
+	if c.MaxBufferSec <= 0 {
+		c.MaxBufferSec = 60
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 8
+	}
+	if c.MaxPreStallSec <= 0 {
+		c.MaxPreStallSec = 2
+	}
+}
+
+// Result summarizes one playback session.
+type Result struct {
+	// Rendering is the delivered per-chunk quality description.
+	Rendering *qoe.Rendering
+	// StartupSec is the join delay (first chunk download time); it is not
+	// counted as rebuffering.
+	StartupSec float64
+	// RebufferSec is total mid-playback stalling, including proactive
+	// stalls.
+	RebufferSec float64
+	// ProactiveStallSec is the share of RebufferSec initiated by the ABR.
+	ProactiveStallSec float64
+	// BitsDownloaded is the session's total traffic.
+	BitsDownloaded float64
+	// WallClockSec is the total session duration on the trace clock.
+	WallClockSec float64
+}
+
+// Play streams v over tr using alg and returns the session result. Weights
+// may be nil; when present it must have one entry per chunk.
+func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("player: %w", err)
+	}
+	if v.NumChunks() == 0 {
+		return nil, fmt.Errorf("player: video %q has no chunks", v.Name)
+	}
+	if weights != nil && len(weights) != v.NumChunks() {
+		return nil, fmt.Errorf("player: %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+
+	cur := trace.NewCursor(tr)
+	n := v.NumChunks()
+	rendering := &qoe.Rendering{
+		Video:    v,
+		Rungs:    make([]int, n),
+		StallSec: make([]float64, n),
+	}
+	res := &Result{Rendering: rendering}
+
+	chunkDur := video.ChunkDuration.Seconds()
+	buffer := 0.0
+	lastRung := -1
+	var thrHist, dlHist []float64
+
+	for i := 0; i < n; i++ {
+		st := &State{
+			Video:         v,
+			ChunkIndex:    i,
+			BufferSec:     buffer,
+			LastRung:      lastRung,
+			ThroughputBps: thrHist,
+			DownloadSec:   dlHist,
+			Weights:       weights,
+			TraceTimeSec:  cur.Now(),
+		}
+		d := alg.Decide(st)
+		if d.Rung < 0 || d.Rung >= len(v.Ladder) {
+			return nil, fmt.Errorf("player: %s chose rung %d for chunk %d (ladder size %d)", alg.Name(), d.Rung, i, len(v.Ladder))
+		}
+		if d.PreStallSec < 0 {
+			return nil, fmt.Errorf("player: %s chose negative proactive stall %v", alg.Name(), d.PreStallSec)
+		}
+		if d.PreStallSec > cfg.MaxPreStallSec {
+			d.PreStallSec = cfg.MaxPreStallSec
+		}
+
+		// Proactive rebuffering (SENSEI action): playback pauses for the
+		// chosen duration while downloading continues, so the buffer level
+		// rises by the stall length (§5.2: "increment the buffer state by
+		// the chosen rebuffering time"). The stall lands in front of the
+		// chunk the decision is for.
+		if d.PreStallSec > 0 && i > 0 {
+			buffer += d.PreStallSec
+			rendering.StallSec[i] += d.PreStallSec
+			res.RebufferSec += d.PreStallSec
+			res.ProactiveStallSec += d.PreStallSec
+		}
+
+		// Wait out a full buffer before starting the download.
+		if buffer+chunkDur > cfg.MaxBufferSec {
+			wait := buffer + chunkDur - cfg.MaxBufferSec
+			cur.Advance(wait)
+			buffer -= wait
+		}
+
+		size := v.ChunkSizeBits(i, d.Rung)
+		dl := cur.Download(size)
+		res.BitsDownloaded += size
+
+		if i == 0 {
+			// Join delay: playback has not started yet.
+			res.StartupSec = dl
+		} else if dl > buffer {
+			// Buffer ran dry mid-download: playback stalls until the
+			// chunk lands. The stall precedes this chunk's playback.
+			stall := dl - buffer
+			rendering.StallSec[i] += stall
+			res.RebufferSec += stall
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		buffer += chunkDur
+
+		rendering.Rungs[i] = d.Rung
+		lastRung = d.Rung
+		thrHist = appendBounded(thrHist, size/dl, cfg.HistoryLen)
+		dlHist = appendBounded(dlHist, dl, cfg.HistoryLen)
+	}
+
+	res.WallClockSec = cur.Now() + buffer // drain the final buffer
+	if err := rendering.Validate(); err != nil {
+		return nil, fmt.Errorf("player: produced invalid rendering: %w", err)
+	}
+	return res, nil
+}
+
+// appendBounded appends v keeping at most n most-recent entries.
+func appendBounded(xs []float64, v float64, n int) []float64 {
+	xs = append(xs, v)
+	if len(xs) > n {
+		xs = xs[len(xs)-n:]
+	}
+	return xs
+}

@@ -1,0 +1,233 @@
+package player
+
+import (
+	"math"
+	"testing"
+
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// fixedAlg always picks the same rung and proactive stall schedule.
+type fixedAlg struct {
+	rung     int
+	preStall map[int]float64
+}
+
+func (f *fixedAlg) Name() string { return "fixed" }
+func (f *fixedAlg) Decide(s *State) Decision {
+	return Decision{Rung: f.rung, PreStallSec: f.preStall[s.ChunkIndex]}
+}
+
+// recordingAlg captures the states it sees.
+type recordingAlg struct {
+	states []State
+	rung   int
+}
+
+func (r *recordingAlg) Name() string { return "recording" }
+func (r *recordingAlg) Decide(s *State) Decision {
+	cp := *s
+	cp.ThroughputBps = append([]float64(nil), s.ThroughputBps...)
+	r.states = append(r.states, cp)
+	return Decision{Rung: r.rung}
+}
+
+func testVideo(t *testing.T) *video.Video {
+	t.Helper()
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func flatTrace(bps float64, secs int) *trace.Trace {
+	s := make([]float64, secs)
+	for i := range s {
+		s[i] = bps
+	}
+	return &trace.Trace{Name: "flat", BitsPerSecond: s}
+}
+
+func TestPlayFastNetworkNoStalls(t *testing.T) {
+	v := testVideo(t)
+	// 50 Mbps: every chunk downloads near-instantly.
+	res, err := Play(v, flatTrace(50e6, 600), &fixedAlg{rung: 4}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferSec != 0 {
+		t.Fatalf("rebuffered %v on a fast network", res.RebufferSec)
+	}
+	if res.Rendering.MeanBitrateKbps() != 2850 {
+		t.Fatalf("mean bitrate %v", res.Rendering.MeanBitrateKbps())
+	}
+	if res.StartupSec <= 0 {
+		t.Fatal("startup should take nonzero time")
+	}
+}
+
+func TestPlaySlowNetworkStalls(t *testing.T) {
+	v := testVideo(t)
+	// 1 Mbps but requesting 2850 kbps: guaranteed stalling.
+	res, err := Play(v, flatTrace(1e6, 3600), &fixedAlg{rung: 4}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebufferSec <= 0 {
+		t.Fatal("expected rebuffering at top rung on 1 Mbps")
+	}
+	// Lowest rung at 1 Mbps: comfortable.
+	res0, err := Play(v, flatTrace(1e6, 3600), &fixedAlg{rung: 0}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.RebufferSec != 0 {
+		t.Fatalf("lowest rung rebuffered %v at 1 Mbps", res0.RebufferSec)
+	}
+}
+
+func TestStartupNotCountedAsRebuffer(t *testing.T) {
+	v := testVideo(t)
+	res, err := Play(v, flatTrace(3e6, 3600), &fixedAlg{rung: 4}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rendering.StallSec[0] != 0 {
+		t.Fatalf("startup leaked into stall ledger: %v", res.Rendering.StallSec[0])
+	}
+}
+
+func TestProactiveStall(t *testing.T) {
+	v := testVideo(t)
+	alg := &fixedAlg{rung: 2, preStall: map[int]float64{3: 1.5}}
+	res, err := Play(v, flatTrace(10e6, 3600), alg, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProactiveStallSec != 1.5 {
+		t.Fatalf("proactive stall %v, want 1.5", res.ProactiveStallSec)
+	}
+	if res.Rendering.StallSec[3] != 1.5 {
+		t.Fatalf("stall not attributed to chunk 3: %v", res.Rendering.StallSec)
+	}
+	if res.RebufferSec != 1.5 {
+		t.Fatalf("rebuffer total %v", res.RebufferSec)
+	}
+}
+
+func TestProactiveStallCapped(t *testing.T) {
+	v := testVideo(t)
+	alg := &fixedAlg{rung: 2, preStall: map[int]float64{2: 99}}
+	res, err := Play(v, flatTrace(10e6, 3600), alg, nil, Config{MaxPreStallSec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProactiveStallSec != 2 {
+		t.Fatalf("stall %v, want capped at 2", res.ProactiveStallSec)
+	}
+}
+
+func TestProactiveStallIgnoredOnFirstChunk(t *testing.T) {
+	v := testVideo(t)
+	alg := &fixedAlg{rung: 2, preStall: map[int]float64{0: 2}}
+	res, err := Play(v, flatTrace(10e6, 3600), alg, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProactiveStallSec != 0 {
+		t.Fatal("pre-stall before playback start should be ignored")
+	}
+}
+
+func TestBufferCapPausesDownloads(t *testing.T) {
+	v := testVideo(t)
+	// Tiny buffer cap: the session must take at least video duration.
+	res, err := Play(v, flatTrace(50e6, 3600), &fixedAlg{rung: 0}, nil, Config{MaxBufferSec: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallClockSec < v.Duration().Seconds()-1 {
+		t.Fatalf("wall clock %v shorter than video %v", res.WallClockSec, v.Duration().Seconds())
+	}
+}
+
+func TestStateEvolution(t *testing.T) {
+	v := testVideo(t)
+	alg := &recordingAlg{rung: 1}
+	if _, err := Play(v, flatTrace(5e6, 3600), alg, nil, Config{HistoryLen: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(alg.states) != v.NumChunks() {
+		t.Fatalf("%d decisions", len(alg.states))
+	}
+	if alg.states[0].LastRung != -1 || alg.states[0].BufferSec != 0 {
+		t.Fatal("initial state wrong")
+	}
+	if alg.states[1].LastRung != 1 {
+		t.Fatal("last rung not propagated")
+	}
+	if len(alg.states[0].ThroughputBps) != 0 {
+		t.Fatal("history should start empty")
+	}
+	for _, s := range alg.states {
+		if len(s.ThroughputBps) > 3 {
+			t.Fatalf("history exceeded bound: %d", len(s.ThroughputBps))
+		}
+	}
+	last := alg.states[len(alg.states)-1]
+	if len(last.ThroughputBps) != 3 {
+		t.Fatalf("history length %d, want 3", len(last.ThroughputBps))
+	}
+	// On a flat 5 Mbps trace, measured throughput should be ~5 Mbps.
+	if math.Abs(last.ThroughputBps[2]-5e6)/5e6 > 0.3 {
+		t.Fatalf("measured throughput %v far from 5 Mbps", last.ThroughputBps[2])
+	}
+}
+
+func TestPlayValidation(t *testing.T) {
+	v := testVideo(t)
+	tr := flatTrace(5e6, 600)
+	if _, err := Play(v, tr, &fixedAlg{rung: 99}, nil, Config{}); err == nil {
+		t.Error("invalid rung accepted")
+	}
+	if _, err := Play(v, tr, &fixedAlg{rung: 1}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("wrong weight length accepted")
+	}
+	bad := &trace.Trace{Name: "bad"}
+	if _, err := Play(v, bad, &fixedAlg{rung: 1}, nil, Config{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestBitsDownloadedMatchesRendering(t *testing.T) {
+	v := testVideo(t)
+	res, err := Play(v, flatTrace(8e6, 3600), &fixedAlg{rung: 3}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.BitsDownloaded-res.Rendering.BitsDownloaded()) > 1 {
+		t.Fatalf("bits mismatch: %v vs %v", res.BitsDownloaded, res.Rendering.BitsDownloaded())
+	}
+}
+
+func TestDeterministicPlayback(t *testing.T) {
+	v := testVideo(t)
+	tr := trace.Generate(trace.GenSpec{Name: "g", Kind: trace.KindHSDPA, MeanBps: 2e6, Seconds: 900, Seed: 7})
+	a, err := Play(v, tr, &fixedAlg{rung: 3}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Play(v, tr, &fixedAlg{rung: 3}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RebufferSec != b.RebufferSec || a.WallClockSec != b.WallClockSec {
+		t.Fatal("replay diverged")
+	}
+}

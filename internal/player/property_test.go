@@ -1,0 +1,99 @@
+package player
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// randomAlg makes seeded random (but deterministic) decisions, fuzzing the
+// simulator from the algorithm side.
+type randomAlg struct{ rng *stats.RNG }
+
+func (r *randomAlg) Name() string { return "random" }
+func (r *randomAlg) Decide(s *State) Decision {
+	d := Decision{Rung: r.rng.Intn(len(s.Video.Ladder))}
+	if r.rng.Bool(0.1) {
+		d.PreStallSec = r.rng.Range(0, 3)
+	}
+	return d
+}
+
+// Property: for any random policy and trace, the session satisfies its
+// accounting invariants.
+func TestPlaySessionInvariantsProperty(t *testing.T) {
+	full, err := video.ByName("Girl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		tr := trace.Generate(trace.GenSpec{
+			Name: "fuzz", Kind: trace.KindHSDPA, MeanBps: rng.Range(0.4e6, 6e6), Seconds: 300, Seed: seed,
+		})
+		res, err := Play(v, tr, &randomAlg{rng: rng.Fork()}, nil, Config{})
+		if err != nil {
+			return false
+		}
+		if res.Rendering.Validate() != nil {
+			return false
+		}
+		// Stall ledger consistency.
+		if res.ProactiveStallSec > res.RebufferSec+1e-9 {
+			return false
+		}
+		if res.Rendering.TotalStallSec() < res.RebufferSec-1e-9 {
+			return false
+		}
+		// Wall clock covers at least the video duration (playback is real
+		// time) and at least total stall time.
+		if res.WallClockSec < v.Duration().Seconds()-1e-6 {
+			return false
+		}
+		// Bits accounting agrees with the rendering.
+		diff := res.BitsDownloaded - res.Rendering.BitsDownloaded()
+		return diff < 1 && diff > -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling the trace up never increases total rebuffering for a
+// fixed-rung policy.
+func TestPlayMoreBandwidthLessStallProperty(t *testing.T) {
+	full, err := video.ByName("Space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		tr := trace.Generate(trace.GenSpec{
+			Name: "p", Kind: trace.KindFCC, MeanBps: rng.Range(0.5e6, 2e6), Seconds: 300, Seed: seed,
+		})
+		alg := &fixedAlg{rung: 1 + rng.Intn(3)}
+		base, err := Play(v, tr, alg, nil, Config{})
+		if err != nil {
+			return false
+		}
+		fast, err := Play(v, tr.Scaled(3), alg, nil, Config{})
+		if err != nil {
+			return false
+		}
+		return fast.RebufferSec <= base.RebufferSec+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

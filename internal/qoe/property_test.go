@@ -1,0 +1,155 @@
+package qoe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sensei/internal/stats"
+	"sensei/internal/video"
+)
+
+// Property-based tests on the quality-kernel invariants every other module
+// leans on. Random renderings are generated from seeded RNGs so failures
+// reproduce.
+
+func randomRendering(rng *stats.RNG, v *video.Video) *Rendering {
+	r := NewRendering(v)
+	for i := range r.Rungs {
+		r.Rungs[i] = rng.Intn(len(v.Ladder))
+		if rng.Bool(0.15) {
+			r.StallSec[i] = rng.Range(0, 4)
+		}
+	}
+	return r
+}
+
+// Property: adding a stall anywhere never raises QoE, under any weights.
+func TestQoEStallMonotoneProperty(t *testing.T) {
+	v, err := video.ByName("Basket2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultQualityParams()
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		r := randomRendering(rng, v)
+		var w []float64
+		if rng.Bool(0.5) {
+			w = v.TrueSensitivity()
+		}
+		base := QoE01(p, r, w)
+		worse := r.WithStall(rng.Intn(v.NumChunks()), rng.Range(0.1, 3))
+		return QoE01(p, worse, w) <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising one chunk's rung when its neighbours are already at
+// the top never lowers QoE (no switch side-effects to pay).
+func TestQoERungMonotoneProperty(t *testing.T) {
+	v, err := video.ByName("Motor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultQualityParams()
+	top := len(v.Ladder) - 1
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		r := NewRendering(v) // everything at top
+		i := rng.Intn(v.NumChunks())
+		lowRung := rng.Intn(top)
+		lowered := r.WithRung(i, lowRung)
+		raised := r.WithRung(i, lowRung+1)
+		return QoE01(p, raised, v.TrueSensitivity()) >= QoE01(p, lowered, v.TrueSensitivity())-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QoE01 is bounded and deficits are non-negative for any
+// rendering.
+func TestQoEBoundsProperty(t *testing.T) {
+	v, err := video.ByName("FPS2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultQualityParams()
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		r := randomRendering(rng, v)
+		q := QoE01(p, r, v.TrueSensitivity())
+		if q < 0 || q > 1 {
+			return false
+		}
+		for i := range r.Rungs {
+			if ChunkDeficit(p, r, i) < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising the weight of a degraded chunk lowers QoE; raising the
+// weight of a pristine chunk leaves it unchanged.
+func TestQoEWeightSensitivityProperty(t *testing.T) {
+	v, err := video.ByName("Animal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultQualityParams()
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		r := NewRendering(v)
+		damaged := rng.Intn(v.NumChunks())
+		r.StallSec[damaged] = 2
+		w := make([]float64, v.NumChunks())
+		for i := range w {
+			w[i] = 1
+		}
+		base := QoE01(p, r, w)
+		// Heavier weight on the damaged chunk must hurt.
+		w[damaged] = 2
+		if QoE01(p, r, w) >= base {
+			return false
+		}
+		// Heavier weight on a pristine chunk is a no-op (zero deficit).
+		w[damaged] = 1
+		pristine := (damaged + 1) % v.NumChunks()
+		w[pristine] = 2
+		diff := QoE01(p, r, w) - base
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KSQI predictions are invariant to *where* incidents occur
+// (content-blindness), while ground truth is not — the paper's core
+// diagnosis of Eq. 1 models.
+func TestKSQIPositionBlindProperty(t *testing.T) {
+	v, err := video.ByName("Wrestling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &KSQI{} // unfitted: pure feature function through the fallback
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed | 1)
+		i := rng.Intn(v.NumChunks())
+		j := rng.Intn(v.NumChunks())
+		a := NewRendering(v).WithStall(i, 2)
+		b := NewRendering(v).WithStall(j, 2)
+		diff := k.Predict(a) - k.Predict(b)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import "sort"
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	// Point is the statistic on the original sample.
+	Point float64
+	// Lo and Hi bound the central confidence mass.
+	Lo, Hi float64
+}
+
+// BootstrapMean returns the mean of xs with a percentile-bootstrap
+// confidence interval at the given level (e.g. 0.95), using resamples
+// drawn from rng. Experiment tables use it to convey how much of a
+// reported gain is sampling noise. Degenerate inputs (empty series,
+// level outside (0,1), non-positive resamples) collapse to a zero-width
+// interval at the point estimate.
+func BootstrapMean(xs []float64, level float64, resamples int, rng *RNG) Interval {
+	point := Mean(xs)
+	iv := Interval{Point: point, Lo: point, Hi: point}
+	if len(xs) < 2 || level <= 0 || level >= 1 || resamples < 2 || rng == nil {
+		return iv
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	iv.Lo = quantileSorted(means, alpha)
+	iv.Hi = quantileSorted(means, 1-alpha)
+	return iv
+}
+
+// quantileSorted interpolates the q-quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := Clamp(q, 0, 1) * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo
+	if lo+1 < len(sorted) {
+		hi = lo + 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

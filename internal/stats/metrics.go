@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Pearson returns the Pearson linear correlation coefficient (PLCC) between
+// xs and ys. It returns 0 when either series is constant or lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns fractional ranks (1-based, ties averaged) of xs.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank across the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation coefficient (SRCC) between
+// xs and ys: the Pearson correlation of their fractional ranks.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// RelativeError returns |predicted-actual| / |actual|. A zero actual value
+// yields |predicted| so that callers never divide by zero.
+func RelativeError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return math.Abs(predicted)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// MeanRelativeError returns the mean of per-sample relative errors.
+func MeanRelativeError(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range predicted {
+		s += RelativeError(predicted[i], actual[i])
+	}
+	return s / float64(len(predicted))
+}
+
+// DiscordantFraction returns the fraction of pairs (i, j), i<j, whose order
+// under predicted disagrees with their order under actual. Pairs tied in
+// actual are skipped; pairs tied in predicted but not in actual count as
+// discordant (the model failed to separate them).
+func DiscordantFraction(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) || len(predicted) < 2 {
+		return 0
+	}
+	var discordant, total int
+	for i := 0; i < len(actual); i++ {
+		for j := i + 1; j < len(actual); j++ {
+			da := actual[i] - actual[j]
+			if da == 0 {
+				continue
+			}
+			total++
+			dp := predicted[i] - predicted[j]
+			if dp == 0 || (da > 0) != (dp > 0) {
+				discordant++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(discordant) / float64(total)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	p = Clamp(p, 0, 1)
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one (value, cumulative fraction) sample of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of xs as sorted points, one per sample.
+func CDF(xs []float64) []CDFPoint {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// FractionAtMost returns the empirical P(X <= v).
+func FractionAtMost(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var n int
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Normalize rescales xs affinely onto [0,1]. A constant series maps to 0.5.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+
+	"sensei/internal/stats"
+)
+
+// Kind selects a synthetic trace family.
+type Kind string
+
+// Trace families mirroring the paper's two sources (§7.1).
+const (
+	// KindFCC mimics FCC fixed-broadband traces: stable mean with occasional
+	// congestion episodes.
+	KindFCC Kind = "fcc"
+	// KindHSDPA mimics Norwegian 3G commute traces: bursty, deep fades,
+	// short outages.
+	KindHSDPA Kind = "hsdpa"
+)
+
+// GenSpec parameterizes synthetic trace generation.
+type GenSpec struct {
+	// Name labels the trace.
+	Name string
+	// Kind selects the family.
+	Kind Kind
+	// MeanBps is the target average throughput in bits per second. The
+	// paper restricts averages to 0.2–6 Mbps.
+	MeanBps float64
+	// Seconds is the trace length; at least one bucket is generated.
+	Seconds int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// floorBps is the minimum throughput sample; outages are near-zero but never
+// exactly zero so replay always terminates.
+const floorBps = 10_000
+
+// Generate synthesizes one trace.
+func Generate(spec GenSpec) *Trace {
+	if spec.Seconds < 1 {
+		spec.Seconds = 1
+	}
+	rng := stats.NewRNG(spec.Seed ^ 0x7ace)
+	samples := make([]float64, spec.Seconds)
+	switch spec.Kind {
+	case KindHSDPA:
+		genHSDPA(samples, spec.MeanBps, rng)
+	default:
+		genFCC(samples, spec.MeanBps, rng)
+	}
+	t := &Trace{Name: spec.Name, BitsPerSecond: samples}
+	rescaleToMean(t, spec.MeanBps)
+	return t
+}
+
+// genFCC produces a mean-reverting series with a two-state congestion
+// Markov chain: "clear" (around the mean) and "congested" (around 40% of
+// the mean) with sticky transitions.
+func genFCC(out []float64, mean float64, rng *stats.RNG) {
+	congested := false
+	level := mean
+	for i := range out {
+		// Sticky state flips: expected episode lengths ~20s clear, ~6s congested.
+		if congested {
+			if rng.Bool(1.0 / 6) {
+				congested = false
+			}
+		} else if rng.Bool(1.0 / 20) {
+			congested = true
+		}
+		target := mean
+		if congested {
+			target = 0.4 * mean
+		}
+		// Mean reversion plus proportional noise.
+		level += 0.35*(target-level) + 0.08*mean*rng.Norm()
+		if level < floorBps {
+			level = floorBps
+		}
+		out[i] = level
+	}
+}
+
+// genHSDPA produces a burstier series: lognormal-ish multiplicative noise,
+// deep fades, and occasional 1-3 second handover holes.
+func genHSDPA(out []float64, mean float64, rng *stats.RNG) {
+	level := mean
+	hole := 0
+	for i := range out {
+		if hole > 0 {
+			hole--
+			out[i] = floorBps * rng.Range(1, 5)
+			continue
+		}
+		if rng.Bool(0.01) { // handover outage
+			hole = 1 + rng.Intn(3)
+			out[i] = floorBps * rng.Range(1, 5)
+			continue
+		}
+		// Random-walk in log space with reversion to the mean.
+		level *= 1 + 0.25*rng.Norm()
+		level += 0.2 * (mean - level)
+		if level < floorBps {
+			level = floorBps
+		}
+		if level > 4*mean {
+			level = 4 * mean
+		}
+		out[i] = level
+	}
+}
+
+// rescaleToMean scales all samples so the trace mean hits the target exactly.
+func rescaleToMean(t *Trace, mean float64) {
+	if mean <= 0 {
+		return
+	}
+	cur := t.Mean()
+	if cur <= 0 {
+		return
+	}
+	f := mean / cur
+	for i := range t.BitsPerSecond {
+		t.BitsPerSecond[i] *= f
+		if t.BitsPerSecond[i] < floorBps {
+			t.BitsPerSecond[i] = floorBps
+		}
+	}
+}
+
+// TestSet returns the paper's 10-trace evaluation set (§7.1): a mix of
+// FCC-like and HSDPA-like traces with averages spread across 0.2–6 Mbps,
+// ordered by increasing average throughput like Fig 14.
+func TestSet() []*Trace {
+	specs := []GenSpec{
+		// The low end stays above the bottom rung's ~0.3 Mbps so sessions
+		// are stressed but playable (the paper's traces satisfy the same
+		// constraint relative to its ladder).
+		{Name: "hsdpa-0.55M", Kind: KindHSDPA, MeanBps: 0.55e6, Seconds: 900, Seed: 0xc1},
+		{Name: "hsdpa-0.8M", Kind: KindHSDPA, MeanBps: 0.8e6, Seconds: 900, Seed: 0xc2},
+		{Name: "fcc-1.0M", Kind: KindFCC, MeanBps: 1.0e6, Seconds: 900, Seed: 0xc3},
+		{Name: "hsdpa-1.3M", Kind: KindHSDPA, MeanBps: 1.3e6, Seconds: 900, Seed: 0xc4},
+		{Name: "fcc-1.7M", Kind: KindFCC, MeanBps: 1.7e6, Seconds: 900, Seed: 0xc5},
+		{Name: "hsdpa-2.2M", Kind: KindHSDPA, MeanBps: 2.2e6, Seconds: 900, Seed: 0xc6},
+		{Name: "fcc-2.8M", Kind: KindFCC, MeanBps: 2.8e6, Seconds: 900, Seed: 0xc7},
+		{Name: "fcc-3.5M", Kind: KindFCC, MeanBps: 3.5e6, Seconds: 900, Seed: 0xc8},
+		{Name: "hsdpa-4.5M", Kind: KindHSDPA, MeanBps: 4.5e6, Seconds: 900, Seed: 0xc9},
+		{Name: "fcc-5.8M", Kind: KindFCC, MeanBps: 5.8e6, Seconds: 900, Seed: 0xca},
+	}
+	out := make([]*Trace, len(specs))
+	for i, s := range specs {
+		out[i] = Generate(s)
+	}
+	return out
+}
+
+// ModelSet returns the 7 traces used by the §2.2 QoE-model study (16 videos
+// × 7 traces × 3 ABRs = 336 renderings).
+func ModelSet() []*Trace {
+	specs := []GenSpec{
+		{Name: "m-hsdpa-0.5M", Kind: KindHSDPA, MeanBps: 0.5e6, Seconds: 900, Seed: 0xd1},
+		{Name: "m-fcc-0.9M", Kind: KindFCC, MeanBps: 0.9e6, Seconds: 900, Seed: 0xd2},
+		{Name: "m-hsdpa-1.5M", Kind: KindHSDPA, MeanBps: 1.5e6, Seconds: 900, Seed: 0xd3},
+		{Name: "m-fcc-2.1M", Kind: KindFCC, MeanBps: 2.1e6, Seconds: 900, Seed: 0xd4},
+		{Name: "m-hsdpa-3.0M", Kind: KindHSDPA, MeanBps: 3.0e6, Seconds: 900, Seed: 0xd5},
+		{Name: "m-fcc-4.2M", Kind: KindFCC, MeanBps: 4.2e6, Seconds: 900, Seed: 0xd6},
+		{Name: "m-fcc-5.5M", Kind: KindFCC, MeanBps: 5.5e6, Seconds: 900, Seed: 0xd7},
+	}
+	out := make([]*Trace, len(specs))
+	for i, s := range specs {
+		out[i] = Generate(s)
+	}
+	return out
+}
+
+// TrainingSet returns a pool of traces for RL training (Pensieve retraining
+// uses its own trace corpus; we synthesize a disjoint, seeded pool).
+func TrainingSet(n int, seed uint64) []*Trace {
+	rng := stats.NewRNG(seed)
+	out := make([]*Trace, n)
+	for i := range out {
+		kind := KindFCC
+		if rng.Bool(0.5) {
+			kind = KindHSDPA
+		}
+		out[i] = Generate(GenSpec{
+			Name:    fmt.Sprintf("train-%d", i),
+			Kind:    kind,
+			MeanBps: rng.Range(0.3e6, 6e6),
+			Seconds: 600,
+			Seed:    rng.Uint64(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Generate(GenSpec{Name: "round-trip", Kind: KindFCC, MeanBps: 1.5e6, Seconds: 30, Seed: 7})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round-trip" {
+		t.Fatalf("name %q", got.Name)
+	}
+	if len(got.BitsPerSecond) != len(orig.BitsPerSecond) {
+		t.Fatalf("%d samples, want %d", len(got.BitsPerSecond), len(orig.BitsPerSecond))
+	}
+	for i := range got.BitsPerSecond {
+		// Write rounds to whole bits.
+		if d := got.BitsPerSecond[i] - orig.BitsPerSecond[i]; d > 0.5 || d < -0.5 {
+			t.Fatalf("sample %d: %v vs %v", i, got.BitsPerSecond[i], orig.BitsPerSecond[i])
+		}
+	}
+}
+
+func TestReadTimestampPairs(t *testing.T) {
+	in := `# a comment
+0.0 1000000
+1.0 2000000
+
+2.0 1500000
+`
+	tr, err := Read(strings.NewReader(in), "pairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "pairs" {
+		t.Fatalf("name %q", tr.Name)
+	}
+	want := []float64{1e6, 2e6, 1.5e6}
+	for i, v := range want {
+		if tr.BitsPerSecond[i] != v {
+			t.Fatalf("sample %d: %v", i, tr.BitsPerSecond[i])
+		}
+	}
+}
+
+func TestReadClampsOutages(t *testing.T) {
+	tr, err := Read(strings.NewReader("1000000\n0\n2000000\n"), "outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BitsPerSecond[1] <= 0 {
+		t.Fatal("zero sample not clamped")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 2 3\n"), "g"); err == nil {
+		t.Error("three-field line accepted")
+	}
+	if _, err := Read(strings.NewReader("abc\n"), "g"); err == nil {
+		t.Error("non-numeric line accepted")
+	}
+	if _, err := Read(strings.NewReader("# only comments\n"), "g"); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReadHeaderName(t *testing.T) {
+	tr, err := Read(strings.NewReader("# trace: my-cell-trace\n500000\n"), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "my-cell-trace" {
+		t.Fatalf("name %q", tr.Name)
+	}
+}

@@ -1,0 +1,228 @@
+// Package sensei is the public API of this reproduction of "SENSEI:
+// Aligning Video Streaming Quality with Dynamic User Sensitivity"
+// (NSDI 2021).
+//
+// SENSEI improves video streaming by exploiting that users' sensitivity to
+// low quality varies within a video: it profiles per-chunk sensitivity
+// weights for each video via crowdsourced quality ratings, and feeds those
+// weights into adaptive-bitrate (ABR) algorithms extended with a proactive
+// rebuffering action, so that high quality lands on the moments users care
+// about.
+//
+// The typical workflow is:
+//
+//	v, _ := sensei.VideoByName("Soccer1")
+//	pop, _ := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 1})
+//	profile, _ := sensei.NewProfiler(pop).Profile(v)   // §4: crowdsourced weights
+//	tr := sensei.GenerateTrace(sensei.TraceSpec{...})
+//	res, _ := sensei.Stream(v, tr, sensei.NewSenseiFugu(), profile.Weights)
+//	fmt.Println(sensei.TrueQoE(res.Rendering))
+//
+// Everything is deterministic given seeds and uses only the standard
+// library. The real user studies, video assets and network traces of the
+// paper are replaced by synthetic substrates documented in DESIGN.md.
+package sensei
+
+import (
+	"sensei/internal/abr"
+	"sensei/internal/crowd"
+	"sensei/internal/dash"
+	"sensei/internal/mos"
+	"sensei/internal/player"
+	"sensei/internal/qoe"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// Video is a source video with its synthetic content model (chunk sizes,
+// attention/motion/complexity signals). See the video package.
+type Video = video.Video
+
+// VideoSpec declares a synthetic video to generate.
+type VideoSpec = video.Spec
+
+// Genre classifies catalog videos.
+type Genre = video.Genre
+
+// Catalog genres.
+const (
+	GenreSports    = video.GenreSports
+	GenreGaming    = video.GenreGaming
+	GenreNature    = video.GenreNature
+	GenreAnimation = video.GenreAnimation
+)
+
+// VideoCatalog returns the paper's 16-video test set (Table 1).
+func VideoCatalog() []*Video { return video.TestSet() }
+
+// VideoByName generates one catalog video by its Table 1 name.
+func VideoByName(name string) (*Video, error) { return video.ByName(name) }
+
+// GenerateVideo builds a synthetic video from a spec.
+func GenerateVideo(spec VideoSpec) *Video { return video.Generate(spec) }
+
+// Trace is a network throughput time series.
+type Trace = trace.Trace
+
+// TraceSpec declares a synthetic trace.
+type TraceSpec = trace.GenSpec
+
+// Trace families.
+const (
+	TraceFCC   = trace.KindFCC
+	TraceHSDPA = trace.KindHSDPA
+)
+
+// GenerateTrace synthesizes a throughput trace.
+func GenerateTrace(spec TraceSpec) *Trace { return trace.Generate(spec) }
+
+// EvaluationTraces returns the 10-trace §7 evaluation set.
+func EvaluationTraces() []*Trace { return trace.TestSet() }
+
+// Rendering describes a streamed playback (per-chunk rungs and stalls).
+type Rendering = qoe.Rendering
+
+// QoEModel predicts the QoE of a rendering.
+type QoEModel = qoe.Model
+
+// QoESample pairs a rendering with its ground-truth (rated) QoE.
+type QoESample = qoe.Sample
+
+// The QoE models compared in the paper's evaluation.
+type (
+	// KSQI is the knowledge-driven linear baseline.
+	KSQI = qoe.KSQI
+	// P1203 is the random-forest baseline.
+	P1203 = qoe.P1203
+	// LSTMQoE is the recurrent baseline.
+	LSTMQoE = qoe.LSTMQoE
+	// SenseiModel is the paper's per-chunk-reweighted QoE model (Eq. 2).
+	SenseiModel = qoe.SenseiModel
+)
+
+// NewSenseiModel builds the SENSEI QoE model from a fallback base model and
+// profiled per-video weights.
+func NewSenseiModel(base *KSQI, weights map[string][]float64) *SenseiModel {
+	return qoe.NewSenseiModel(base, weights)
+}
+
+// Population is a simulated pool of human raters.
+type Population = mos.Population
+
+// PopulationConfig controls rater synthesis.
+type PopulationConfig = mos.PopulationConfig
+
+// NewPopulation synthesizes a rater pool.
+func NewPopulation(cfg PopulationConfig) (*Population, error) { return mos.NewPopulation(cfg) }
+
+// TrueQoE returns the latent ground-truth QoE of a rendering — the
+// asymptotic MOS real users would produce. Production systems cannot
+// observe it directly; it exists for evaluation.
+func TrueQoE(r *Rendering) float64 { return mos.TrueQoE(r) }
+
+// CollectMOS rates a rendering with n raters and returns the normalized
+// mean opinion score.
+func CollectMOS(p *Population, r *Rendering, n int) (float64, error) {
+	m, _, err := mos.CollectMOS(p, r, n, 0)
+	return m, err
+}
+
+// Profiler runs the §4 crowdsourced profiling pipeline.
+type Profiler = crowd.Profiler
+
+// Profile is the result of profiling one video: weights plus the bill.
+type Profile = crowd.Profile
+
+// SchedulerParams tunes the two-step rendered-video scheduler (§4.3).
+type SchedulerParams = crowd.SchedulerParams
+
+// NewProfiler returns a profiler with the paper's default parameters.
+func NewProfiler(pop *Population) *Profiler { return crowd.NewProfiler(pop) }
+
+// Algorithm is an ABR policy driving chunk-by-chunk decisions.
+type Algorithm = player.Algorithm
+
+// PlayerState is the observable state handed to an Algorithm.
+type PlayerState = player.State
+
+// Decision is an Algorithm's choice for the next chunk.
+type Decision = player.Decision
+
+// PlayerConfig parameterizes a playback session.
+type PlayerConfig = player.Config
+
+// StreamResult summarizes a playback session.
+type StreamResult = player.Result
+
+// NewBBA returns the buffer-based baseline ABR.
+func NewBBA() Algorithm { return abr.NewBBA() }
+
+// NewBOLA returns the Lyapunov buffer-based baseline ABR.
+func NewBOLA() Algorithm { return abr.NewBOLA() }
+
+// NewRateRule returns the classic rate-based baseline ABR.
+func NewRateRule() Algorithm { return abr.NewRateRule() }
+
+// NewFugu returns the stochastic-MPC baseline ABR (Eq. 3 objective).
+func NewFugu() Algorithm { return abr.NewFugu() }
+
+// NewSenseiFugu returns SENSEI applied to the MPC algorithm: the Eq. 4
+// weighted objective plus the proactive rebuffering action.
+func NewSenseiFugu() Algorithm { return abr.NewSenseiFugu() }
+
+// Pensieve is the reinforcement-learning ABR family (train before use).
+type Pensieve = abr.Pensieve
+
+// TrainConfig bounds Pensieve training.
+type TrainConfig = abr.TrainConfig
+
+// NewPensieve returns the RL baseline agent.
+func NewPensieve(seed uint64) *Pensieve { return abr.NewPensieve(seed) }
+
+// NewSenseiPensieve returns SENSEI applied to the RL agent.
+func NewSenseiPensieve(seed uint64) *Pensieve { return abr.NewSenseiPensieve(seed) }
+
+// Stream plays v over tr with the given algorithm. weights may be nil for
+// sensitivity-blind algorithms.
+func Stream(v *Video, tr *Trace, alg Algorithm, weights []float64) (*StreamResult, error) {
+	return player.Play(v, tr, alg, weights, player.Config{})
+}
+
+// SessionQoE scores a rendering with the content-blind kernel (the
+// objective baseline ABRs optimize).
+func SessionQoE(r *Rendering) float64 { return abr.SessionQoE(r) }
+
+// WeightedSessionQoE scores a rendering with sensitivity weights (SENSEI's
+// objective).
+func WeightedSessionQoE(r *Rendering, weights []float64) float64 {
+	return abr.WeightedSessionQoE(r, weights)
+}
+
+// DASH integration (§6): manifest with the SenseiWeights extension, a
+// trace-shaped segment server, and a streaming client over real TCP.
+type (
+	// DASHServer serves manifests and shaped segments.
+	DASHServer = dash.Server
+	// DASHClient streams from a DASHServer, driving an Algorithm.
+	DASHClient = dash.Client
+	// DASHShaper throttles server egress to follow a trace.
+	DASHShaper = dash.Shaper
+	// MPD is the extended DASH manifest.
+	MPD = dash.MPD
+)
+
+// NewDASHShaper starts a shaper replaying tr; timeScale < 1 compresses
+// wall-clock time (0.01 runs sessions 100x faster than real time).
+func NewDASHShaper(tr *Trace, timeScale float64) (*DASHShaper, error) {
+	return dash.NewShaper(tr, timeScale)
+}
+
+// NewDASHServer builds a segment server for v; weights may be nil for a
+// legacy manifest.
+func NewDASHServer(v *Video, weights []float64, shaper *DASHShaper) (*DASHServer, error) {
+	return dash.NewServer(v, weights, shaper)
+}
+
+// BuildMPD renders the manifest for a video, embedding weights when
+// non-nil.
+func BuildMPD(v *Video, weights []float64) (*MPD, error) { return dash.BuildMPD(v, weights) }

@@ -1,0 +1,128 @@
+package sensei_test
+
+import (
+	"testing"
+
+	"sensei"
+)
+
+// TestPublicAPIWorkflow exercises the documented quickstart path end to end
+// through the facade only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	v, err := sensei.VideoByName("Soccer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := v.Excerpt(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := sensei.NewProfiler(pop).Profile(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.Weights) != clip.NumChunks() {
+		t.Fatalf("%d weights", len(profile.Weights))
+	}
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "api", Kind: sensei.TraceFCC, MeanBps: 1.5e6, Seconds: 600, Seed: 2,
+	})
+	res, err := sensei.Stream(clip, tr, sensei.NewSenseiFugu(), profile.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sensei.TrueQoE(res.Rendering)
+	if q <= 0 || q > 1 {
+		t.Fatalf("QoE %v out of range", q)
+	}
+	if sensei.SessionQoE(res.Rendering) <= 0 {
+		t.Fatal("session QoE not positive")
+	}
+	if sensei.WeightedSessionQoE(res.Rendering, profile.Weights) <= 0 {
+		t.Fatal("weighted session QoE not positive")
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if got := len(sensei.VideoCatalog()); got != 16 {
+		t.Fatalf("catalog size %d", got)
+	}
+	if got := len(sensei.EvaluationTraces()); got != 10 {
+		t.Fatalf("trace set size %d", got)
+	}
+}
+
+func TestPublicAPIMOS(t *testing.T) {
+	v, err := sensei.VideoByName("Tank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := v.Excerpt(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sensei.GenerateTrace(sensei.TraceSpec{Name: "m", Kind: sensei.TraceHSDPA, MeanBps: 2e6, Seconds: 300, Seed: 4})
+	res, err := sensei.Stream(clip, tr, sensei.NewBBA(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sensei.CollectMOS(pop, res.Rendering, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 0 || m > 1 {
+		t.Fatalf("MOS %v", m)
+	}
+}
+
+func TestPublicAPIDASH(t *testing.T) {
+	v, err := sensei.VideoByName("Lava")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := v.Excerpt(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sensei.GenerateTrace(sensei.TraceSpec{Name: "d", Kind: sensei.TraceFCC, MeanBps: 5e6, Seconds: 300, Seed: 5})
+	shaper, err := sensei.NewDASHShaper(tr, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, clip.NumChunks())
+	for i := range weights {
+		weights[i] = 1
+	}
+	srv, err := sensei.NewDASHServer(clip, weights, shaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &sensei.DASHClient{BaseURL: "http://" + addr, Algorithm: sensei.NewBBA(), TimeScale: 0.002}
+	sess, err := client.Stream(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.BytesDownloaded == 0 {
+		t.Fatal("no traffic")
+	}
+	mpd, err := sensei.BuildMPD(clip, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpd.Encode(); err != nil {
+		t.Fatal(err)
+	}
+}
