@@ -2,27 +2,90 @@
 //
 // Usage:
 //
-//	senseibench [-mode quick|full] [experiment ...]
+//	senseibench [-mode quick|full] [-benchjson file] [experiment ...]
 //
 // With no arguments it runs every experiment. Experiment ids: table1, fig1,
 // fig2, fig3, fig4, fig5, fig6, fig12a, fig12b, fig12c, fig13, fig14,
 // fig15, fig16, fig17, fig18, fig20, sanity.
+//
+// With -benchjson, per-experiment wall-clock and a planner micro-benchmark
+// (tree search vs brute-force oracle) are written as JSON, giving CI a
+// perf trajectory across PRs (BENCH_baseline.json holds the committed
+// baseline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"sensei/internal/abr"
 	"sensei/internal/experiments"
+	"sensei/internal/player"
+	"sensei/internal/video"
 )
 
 // renderer is anything an experiment runner returns.
 type renderer interface{ Render() string }
 
+// benchReport is the -benchjson wire format.
+type benchReport struct {
+	Mode           string             `json:"mode"`
+	GoVersion      string             `json:"go_version"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	Planner        plannerBench       `json:"planner"`
+	ExperimentSec  map[string]float64 `json:"experiment_sec"`
+	TotalSec       float64            `json:"total_sec"`
+	ExperimentList []string           `json:"experiment_list"`
+}
+
+// plannerBench compares one horizon-5 SENSEI-Fugu decision under the tree
+// search and the brute-force oracle.
+type plannerBench struct {
+	TreeNsPerDecision  float64 `json:"tree_ns_per_decision"`
+	BruteNsPerDecision float64 `json:"brute_ns_per_decision"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// timeDecide measures the mean cost of one planning decision.
+func timeDecide(m player.Algorithm, s *player.State, iters int) float64 {
+	m.Decide(s) // warm caches
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		m.Decide(s)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// plannerMicroBench runs the MPC planner comparison.
+func plannerMicroBench() plannerBench {
+	v := video.TestSet()[0]
+	s := &player.State{
+		Video:         v,
+		ChunkIndex:    12,
+		BufferSec:     7.5,
+		LastRung:      2,
+		ThroughputBps: []float64{1.9e6, 2.4e6, 1.6e6, 2.1e6, 2.8e6},
+		DownloadSec:   []float64{3.8, 3.1, 4.4, 3.5, 2.7},
+		Weights:       v.TrueSensitivity(),
+	}
+	tree := abr.NewSenseiFugu()
+	brute := abr.NewSenseiFugu()
+	brute.BruteForce = true
+	out := plannerBench{
+		TreeNsPerDecision:  timeDecide(tree, s, 2000),
+		BruteNsPerDecision: timeDecide(brute, s, 50),
+	}
+	out.Speedup = out.BruteNsPerDecision / out.TreeNsPerDecision
+	return out
+}
+
 func main() {
 	mode := flag.String("mode", "quick", "experiment scale: quick or full")
+	benchJSON := flag.String("benchjson", "", "write a JSON perf baseline to this file")
 	flag.Parse()
 
 	var labMode experiments.Mode
@@ -68,6 +131,13 @@ func main() {
 	if len(ids) == 0 {
 		ids = order
 	}
+	report := benchReport{
+		Mode:          *mode,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ExperimentSec: map[string]float64{},
+	}
+	total := time.Now()
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
@@ -80,7 +150,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "senseibench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
 		fmt.Println(res.Render())
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, elapsed)
+		report.ExperimentSec[id] = elapsed
+		report.ExperimentList = append(report.ExperimentList, id)
+	}
+	report.TotalSec = time.Since(total).Seconds()
+
+	if *benchJSON != "" {
+		report.Planner = plannerMicroBench()
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: writing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: closing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[perf baseline written to %s: planner %.0fx, total %.1fs]\n",
+			*benchJSON, report.Planner.Speedup, report.TotalSec)
 	}
 }

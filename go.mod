@@ -1,0 +1,3 @@
+module sensei
+
+go 1.24

@@ -79,6 +79,14 @@ type Scenario struct {
 	StartSec float64
 }
 
+// ScenarioAppender is an optional Predictor fast path: implementations
+// append their scenarios to dst instead of allocating a fresh slice, so
+// the planner can reuse one buffer across millions of decisions. The
+// appended scenarios must be value-identical to Predict's.
+type ScenarioAppender interface {
+	AppendScenarios(historyBps []float64, dst []Scenario) []Scenario
+}
+
 // HarmonicPredictor predicts via the harmonic mean of recent samples — the
 // robust-MPC estimator — and spreads it into a three-point distribution
 // whose width follows the history's relative variability.
@@ -90,6 +98,11 @@ type HarmonicPredictor struct {
 // Predict implements Predictor. With no history it assumes a conservative
 // 1 Mbps.
 func (h *HarmonicPredictor) Predict(history []float64) []Scenario {
+	return h.AppendScenarios(history, nil)
+}
+
+// AppendScenarios implements ScenarioAppender.
+func (h *HarmonicPredictor) AppendScenarios(history []float64, dst []Scenario) []Scenario {
 	w := h.Window
 	if w <= 0 {
 		w = 5
@@ -130,11 +143,11 @@ func (h *HarmonicPredictor) Predict(history []float64) []Scenario {
 	if spread > 0.5 {
 		spread = 0.5
 	}
-	return []Scenario{
-		{Bps: mean * (1 - spread), P: 0.3},
-		{Bps: mean, P: 0.4},
-		{Bps: mean * (1 + spread), P: 0.3},
-	}
+	return append(dst,
+		Scenario{Bps: mean * (1 - spread), P: 0.3},
+		Scenario{Bps: mean, P: 0.4},
+		Scenario{Bps: mean * (1 + spread), P: 0.3},
+	)
 }
 
 // SessionQoE scores a finished rendering with the unweighted deficit kernel

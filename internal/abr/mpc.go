@@ -2,6 +2,7 @@ package abr
 
 import (
 	"math"
+	"sync"
 
 	"sensei/internal/player"
 	"sensei/internal/qoe"
@@ -41,8 +42,17 @@ type MPC struct {
 	RiskAversion float64
 	// Quality configures the per-chunk kernel q(b, t).
 	Quality qoe.QualityParams
+	// BruteForce selects the original flat base-nRungs plan enumeration
+	// instead of the pruned tree search. The two planners return
+	// byte-identical decisions (TestTreePlannerMatchesBruteForce); the flag
+	// exists so the slow exhaustive planner remains available as the
+	// correctness oracle for tests and benchmarks.
+	BruteForce bool
 
-	vmafCache *vmafTable
+	// vmafCache memoizes per-video VMAF tables. Keyed per video so one
+	// algorithm instance can serve many sessions — concurrently and across
+	// alternating videos — without thrashing or racing.
+	vmafCache sync.Map // *video.Video -> *vmafTable
 }
 
 // NewFugu returns the baseline MPC (unweighted Eq. 3 objective, no
@@ -99,11 +109,15 @@ func newVMAFTable(vd *video.Video) *vmafTable {
 }
 
 func (m *MPC) table(v *video.Video) *vmafTable {
-	if m.vmafCache == nil || m.vmafCache.video != v {
-		m.vmafCache = newVMAFTable(v)
+	if t, ok := m.vmafCache.Load(v); ok {
+		return t.(*vmafTable)
 	}
-	return m.vmafCache
+	t, _ := m.vmafCache.LoadOrStore(v, newVMAFTable(v))
+	return t.(*vmafTable)
 }
+
+// noStallOnly is the pre-stall action space of the baseline MPC.
+var noStallOnly = []float64{0}
 
 // Decide implements player.Algorithm.
 func (m *MPC) Decide(s *player.State) player.Decision {
@@ -118,14 +132,22 @@ func (m *MPC) Decide(s *player.State) player.Decision {
 	if pred == nil {
 		pred = &HarmonicPredictor{}
 	}
-	scenarios := pred.Predict(s.ThroughputBps)
 	tbl := m.table(s.Video)
 
-	preStalls := []float64{0}
+	preStalls := noStallOnly
 	if m.Sensitivity && len(m.PreStallChoices) > 0 && s.ChunkIndex > 0 {
 		preStalls = m.PreStallChoices
 	}
+	if m.BruteForce {
+		return m.decideBrute(s, tbl, horizon, preStalls, pred.Predict(s.ThroughputBps))
+	}
+	return m.decideTree(s, tbl, horizon, preStalls, pred)
+}
 
+// decideBrute is the exhaustive planner: every base-nRungs rung sequence
+// over the horizon is simulated from scratch under every scenario. It is
+// kept verbatim as the correctness oracle for the tree search.
+func (m *MPC) decideBrute(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, scenarios []Scenario) player.Decision {
 	nRungs := len(s.Video.Ladder)
 	bestScore := math.Inf(-1)
 	bestNoStall := math.Inf(-1)

@@ -1,0 +1,386 @@
+package abr
+
+import (
+	"math"
+	"sync"
+
+	"sensei/internal/player"
+	"sensei/internal/video"
+)
+
+// This file implements the MPC planner as a depth-first tree search over
+// the plan prefix, replacing the flat base-nRungs enumeration of
+// decideBrute. Three ideas make it fast while staying exact:
+//
+//  1. Download-time table: for constant-throughput scenarios the download
+//     time of (step, rung) is independent of the plan prefix, so it is
+//     computed once per decision instead of once per candidate plan.
+//     Exact-replay scenarios (the §2.4 oracles) depend on the prefix
+//     clock, so they are evaluated once per distinct prefix — still
+//     exponentially less work than once per full plan.
+//  2. Prefix sharing: per-scenario simulation state (buffer level,
+//     accumulated quality, trace clock) lives on a depth-indexed stack, so
+//     the nRungs^h plans share the simulation of their common prefixes.
+//     Per-scenario quality is accumulated in the same order as the brute
+//     force, so leaf scores are bit-identical to scorePlan.
+//  3. Admissible pruning: a branch is cut only when an upper bound on the
+//     best completion of its prefix falls strictly below the incumbent,
+//     with an epsilon guard covering the bound's own rounding. The bound
+//     (remaining steps at their weighted VMAF ceiling, penalties ignored)
+//     overestimates every completion, so no optimal plan is ever cut and
+//     the search remains exact. Equal-score plans are resolved by the
+//     brute force's enumeration-order tie-break, so decisions are
+//     byte-identical to the oracle planner.
+type treeSearch struct {
+	m         *MPC
+	s         *player.State
+	tbl       *vmafTable
+	scenarios []Scenario
+	scenBuf   []Scenario // reused backing array for appending predictors
+	horizon   int
+	nRungs    int
+
+	chunkDur   float64
+	stallScale float64
+	weighted   bool
+	risk       float64
+	blend      bool // len(scenarios) > 1 && risk > 0
+
+	// dl[sc][k*nRungs+r] is the download time of horizon step k at rung r
+	// under constant scenario sc; unused for exact-replay scenarios.
+	dl [][]float64
+	// Depth-indexed per-scenario prefix state; index 0 is the pre-plan
+	// state, index k the state after simulating steps 0..k-1.
+	buf  [][]float64 // playback buffer, seconds
+	qsum [][]float64 // accumulated plan quality
+	now  [][]float64 // trace clock, exact-replay scenarios only
+
+	// ubTail[k] bounds the quality attainable by steps k..horizon-1 in any
+	// scenario; ubTail[horizon] = 0.
+	ubTail   []float64
+	canPrune bool
+
+	pre   float64 // proactive stall of the current pass
+	floor float64 // scores at or below this cannot matter to the caller
+
+	plan      []int
+	bestPlan  []int
+	bestScore float64
+	haveBest  bool
+}
+
+// treePool recycles search scratch across decisions and goroutines: steady
+// state planning allocates nothing, and MPC instances stay safe for
+// concurrent Decide calls because no scratch lives on the MPC.
+var treePool = sync.Pool{New: func() any { return new(treeSearch) }}
+
+// decideTree runs the tree-search planner. It mirrors decideBrute's
+// decision logic exactly: per pre-stall pass the best plan is tracked with
+// the brute force's first-in-enumeration-order tie-break, and a nonzero
+// proactive stall must clear PreStallMargin over the best stall-free plan.
+func (m *MPC) decideTree(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, pred Predictor) player.Decision {
+	t := treePool.Get().(*treeSearch)
+	defer treePool.Put(t)
+	var scenarios []Scenario
+	if sa, ok := pred.(ScenarioAppender); ok {
+		t.scenBuf = sa.AppendScenarios(s.ThroughputBps, t.scenBuf[:0])
+		scenarios = t.scenBuf
+	} else {
+		scenarios = pred.Predict(s.ThroughputBps)
+	}
+	t.reset(m, s, tbl, horizon, scenarios)
+
+	bestNoStall := math.Inf(-1)
+	best := player.Decision{Rung: 0}
+	bestStallScore := math.Inf(-1)
+	var bestStallDecision player.Decision
+
+	for _, pre := range preStalls {
+		if pre == 0 {
+			score, plan, ok := t.run(0, bestNoStall)
+			if ok && score > bestNoStall {
+				bestNoStall = score
+				best = player.Decision{Rung: plan[0]}
+			}
+			continue
+		}
+		// Plans that can neither beat the running stall best nor clear the
+		// no-stall gate can never become the returned decision, so the
+		// search may discard them early.
+		floor := bestStallScore
+		if gate := bestNoStall + m.PreStallMargin; gate > floor {
+			floor = gate
+		}
+		score, plan, ok := t.run(pre, floor)
+		if ok && score > bestStallScore {
+			bestStallScore = score
+			bestStallDecision = player.Decision{Rung: plan[0], PreStallSec: pre}
+		}
+	}
+	if bestStallScore > bestNoStall+m.PreStallMargin {
+		return bestStallDecision
+	}
+	return best
+}
+
+// reset prepares the scratch for one decision, reusing prior capacity.
+func (t *treeSearch) reset(m *MPC, s *player.State, tbl *vmafTable, horizon int, scenarios []Scenario) {
+	t.m, t.s, t.tbl = m, s, tbl
+	t.scenarios = scenarios
+	t.horizon = horizon
+	t.nRungs = len(s.Video.Ladder)
+	t.chunkDur = video.ChunkDuration.Seconds()
+	t.stallScale = math.Sqrt(float64(s.Video.NumChunks())) / 1.75
+	t.weighted = m.Sensitivity && s.Weights != nil
+	t.risk = m.RiskAversion
+	t.blend = len(scenarios) > 1 && t.risk > 0
+
+	nSc := len(scenarios)
+	t.dl = grow2(t.dl, nSc, horizon*t.nRungs)
+	t.buf = grow2(t.buf, horizon+1, nSc)
+	t.qsum = grow2(t.qsum, horizon+1, nSc)
+	t.now = grow2(t.now, horizon+1, nSc)
+	t.ubTail = grow1(t.ubTail, horizon+1)
+	t.plan = growInt(t.plan, horizon)
+	t.bestPlan = growInt(t.bestPlan, horizon)
+
+	// Download-time table for constant scenarios. The division matches the
+	// brute force's inner-loop expression operand for operand, so download
+	// times — and therefore leaf scores — are bit-identical.
+	for sc, scen := range scenarios {
+		if scen.Exact != nil {
+			continue
+		}
+		row := t.dl[sc]
+		for k := 0; k < horizon; k++ {
+			i := s.ChunkIndex + k
+			for r := 0; r < t.nRungs; r++ {
+				row[k*t.nRungs+r] = s.Video.ChunkSizeBits(i, r) / scen.Bps
+			}
+		}
+	}
+
+	// The bound assumes penalties only subtract and aggregation weights are
+	// nonnegative; under exotic configurations (negative penalties or
+	// weights, risk blend outside [0,1]) pruning is disabled and the search
+	// still wins through table reuse and prefix sharing alone.
+	t.canPrune = m.Quality.StallPenalty >= 0 && m.Quality.SwitchPenalty >= 0 &&
+		t.risk >= 0 && t.risk <= 1
+	for _, scen := range scenarios {
+		if scen.P < 0 {
+			t.canPrune = false
+		}
+	}
+	for k := horizon; k >= 0; k-- {
+		if k == horizon {
+			t.ubTail[k] = 0
+			continue
+		}
+		i := s.ChunkIndex + k
+		w := 1.0
+		if t.weighted {
+			w = s.Weights[i]
+			if w < 0 {
+				t.canPrune = false
+			}
+		}
+		stepUB := math.Inf(-1)
+		for r := 0; r < t.nRungs; r++ {
+			if q := w * t.tbl.v[i][r]; q > stepUB {
+				stepUB = q
+			}
+		}
+		t.ubTail[k] = stepUB + t.ubTail[k+1]
+	}
+}
+
+// run searches one pre-stall pass and returns the pass's best score and
+// plan. Scores at or below floor may be silently dropped: the caller has
+// already established they cannot influence the returned decision.
+func (t *treeSearch) run(pre, floor float64) (float64, []int, bool) {
+	for sc, scen := range t.scenarios {
+		t.buf[0][sc] = t.s.BufferSec + pre
+		t.qsum[0][sc] = 0
+		if scen.Exact != nil {
+			// Mirror NewCursor + Advance(StartSec).
+			now := 0.0
+			if scen.StartSec > 0 {
+				now = scen.StartSec
+			}
+			t.now[0][sc] = now
+		}
+	}
+	t.pre = pre
+	t.floor = floor
+	t.bestScore = math.Inf(-1)
+	t.haveBest = false
+	t.dfs(0)
+	return t.bestScore, t.bestPlan, t.haveBest
+}
+
+// dfs extends the plan prefix of depth k by every rung choice.
+func (t *treeSearch) dfs(k int) {
+	if k == t.horizon {
+		t.offer(t.leafScore())
+		return
+	}
+	for r := 0; r < t.nRungs; r++ {
+		t.plan[k] = r
+		t.step(k, r)
+		if t.canPrune {
+			bound := t.bound(k + 1)
+			thr := t.bestScore
+			if t.floor > thr {
+				thr = t.floor
+			}
+			// Prune only when the bound is strictly below the incumbent by
+			// more than the bound's own rounding slack; ties must survive
+			// so the enumeration-order tie-break stays exact.
+			if bound < thr-1e-9*(math.Abs(thr)+1) {
+				continue
+			}
+		}
+		t.dfs(k + 1)
+	}
+}
+
+// step simulates horizon step k at rung r under every scenario, writing the
+// depth-k+1 state. The arithmetic replicates scorePlan statement for
+// statement so shared prefixes accumulate bit-identical quality.
+func (t *treeSearch) step(k, r int) {
+	i := t.s.ChunkIndex + k
+	vmaf := t.tbl.v[i][r]
+	prev := t.s.LastRung
+	if k > 0 {
+		prev = t.plan[k-1]
+	}
+	for sc, scen := range t.scenarios {
+		var dl float64
+		if scen.Exact != nil {
+			start := t.now[k][sc]
+			end := scen.Exact.DownloadEnd(start, t.s.Video.ChunkSizeBits(i, r))
+			dl = end - start
+			t.now[k+1][sc] = end
+		} else {
+			dl = t.dl[sc][k*t.nRungs+r]
+		}
+		buffer := t.buf[k][sc]
+		stall := 0.0
+		if k == 0 {
+			stall = t.pre
+		}
+		if dl > buffer {
+			stall += dl - buffer
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		buffer += t.chunkDur
+
+		q := vmaf
+		q -= t.stallScale * t.m.Quality.StallCost(stall)
+		if prev >= 0 {
+			q -= t.m.Quality.SwitchPenalty * math.Abs(vmaf-prevVMAF(t.tbl, i, prev))
+		}
+		if t.weighted {
+			q *= t.s.Weights[i]
+		}
+		t.buf[k+1][sc] = buffer
+		t.qsum[k+1][sc] = t.qsum[k][sc] + q
+	}
+}
+
+// leafScore aggregates the full-depth per-scenario qualities exactly as
+// scorePlan does: expected value, optionally blended with the worst case.
+func (t *treeSearch) leafScore() float64 {
+	var expected float64
+	worst := math.Inf(1)
+	for sc, scen := range t.scenarios {
+		tq := t.qsum[t.horizon][sc]
+		expected += scen.P * tq
+		if tq < worst {
+			worst = tq
+		}
+	}
+	if t.blend {
+		return (1-t.risk)*expected + t.risk*worst
+	}
+	return expected
+}
+
+// bound returns an upper bound on the score of any completion of the
+// depth-k prefix: each scenario finishes its remaining steps at the
+// weighted VMAF ceiling with no stall or switch penalties.
+func (t *treeSearch) bound(k int) float64 {
+	tail := t.ubTail[k]
+	var expected float64
+	worst := math.Inf(1)
+	for sc, scen := range t.scenarios {
+		ub := t.qsum[k][sc] + tail
+		expected += scen.P * ub
+		if ub < worst {
+			worst = ub
+		}
+	}
+	if t.blend {
+		return (1-t.risk)*expected + t.risk*worst
+	}
+	return expected
+}
+
+// offer installs a completed plan as the incumbent if it scores strictly
+// higher — or ties and precedes the incumbent in the brute force's
+// enumeration order. decideBrute walks plans in base-nRungs code order
+// with plan[0] the least significant digit and keeps the first plan
+// reaching the maximum, so the tie-break compares digits from the deepest
+// step down.
+func (t *treeSearch) offer(score float64) {
+	if score > t.bestScore {
+		t.bestScore = score
+		copy(t.bestPlan, t.plan[:t.horizon])
+		t.haveBest = true
+		return
+	}
+	if !t.haveBest || score != t.bestScore {
+		return
+	}
+	for j := t.horizon - 1; j >= 0; j-- {
+		if t.plan[j] != t.bestPlan[j] {
+			if t.plan[j] < t.bestPlan[j] {
+				copy(t.bestPlan, t.plan[:t.horizon])
+			}
+			return
+		}
+	}
+}
+
+// grow1 returns a float64 slice of length n, reusing capacity.
+func grow1(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt returns an int slice of length n, reusing capacity.
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// grow2 returns an n×m matrix, reusing outer and inner capacity.
+func grow2(s [][]float64, n, m int) [][]float64 {
+	if cap(s) < n {
+		ns := make([][]float64, n)
+		copy(ns, s[:cap(s)])
+		s = ns
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = grow1(s[i], m)
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+package abr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sensei/internal/player"
+	"sensei/internal/stats"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// plannerPair drives a session with the tree-search planner while checking
+// every decision against the brute-force oracle.
+type plannerPair struct {
+	t     *testing.T
+	name  string
+	tree  player.Algorithm
+	brute player.Algorithm
+}
+
+func (p *plannerPair) Name() string { return "equiv-" + p.name }
+
+func (p *plannerPair) Decide(s *player.State) player.Decision {
+	got := p.tree.Decide(s)
+	want := p.brute.Decide(s)
+	if got != want {
+		p.t.Fatalf("%s: chunk %d (buffer %.3f, lastRung %d): tree %+v, brute %+v",
+			p.name, s.ChunkIndex, s.BufferSec, s.LastRung, got, want)
+	}
+	return got
+}
+
+// mpcVariant builds one planner configuration twice: the tree search and
+// the flagged brute-force oracle. MPC holds a sync.Map, so variants are
+// constructed twice rather than copied.
+type mpcVariant struct {
+	name  string
+	base  func() *MPC
+	tweak func(*MPC)
+}
+
+// build returns (tree, brute) instances of the variant.
+func (v mpcVariant) build() (*MPC, *MPC) {
+	tree := v.base()
+	brute := v.base()
+	if v.tweak != nil {
+		v.tweak(tree)
+		v.tweak(brute)
+	}
+	brute.BruteForce = true
+	return tree, brute
+}
+
+// TestTreePlannerMatchesBruteForce proves the tentpole invariant: across a
+// seeded grid of (video, trace, horizon, objective, risk, margin,
+// pre-stall) configurations, the tree-search planner returns byte-identical
+// player.Decisions to the exhaustive enumeration — including every decision
+// of full playback sessions, where buffer and history states compound.
+func TestTreePlannerMatchesBruteForce(t *testing.T) {
+	videos := video.TestSet()[:3]
+	clip, err := videos[1].Excerpt(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	videos = append(videos, clip)
+	traces := trace.TestSet()
+	sessionTraces := []*trace.Trace{traces[0], traces[4], traces[7].Scaled(0.4)}
+
+	variants := []mpcVariant{
+		{"fugu-h5", NewFugu, nil},
+		{"fugu-h2-risk0", NewFugu, func(m *MPC) { m.Horizon = 2; m.RiskAversion = 0 }},
+		{"fugu-h3-risk1", NewFugu, func(m *MPC) { m.Horizon = 3; m.RiskAversion = 1 }},
+		{"sensei-h5", NewSenseiFugu, nil},
+		{"sensei-h4-margin0", NewSenseiFugu, func(m *MPC) { m.Horizon = 4; m.PreStallMargin = 0 }},
+		{"sensei-h3-margin.25-risk0", NewSenseiFugu, func(m *MPC) {
+			m.Horizon = 3
+			m.PreStallMargin = 0.25
+			m.RiskAversion = 0
+		}},
+		{"sensei-h5-longstalls", NewSenseiFugu, func(m *MPC) {
+			m.PreStallChoices = []float64{0, 0.5, 1, 2}
+			m.PreStallMargin = 0.1
+		}},
+	}
+
+	for _, v := range videos {
+		weights := v.TrueSensitivity()
+		for ti, tr := range sessionTraces {
+			for _, variant := range variants {
+				tree, brute := variant.build()
+				pair := &plannerPair{t: t, name: fmt.Sprintf("%s/%s/t%d", variant.name, v.Name, ti), tree: tree, brute: brute}
+				var w []float64
+				if tree.Sensitivity {
+					w = weights
+				}
+				if _, err := player.Play(v, tr, pair, w, player.Config{}); err != nil {
+					t.Fatalf("%s: %v", pair.name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTreePlannerMatchesBruteForceOracle covers the exact-replay scenario
+// path (§2.4 oracles), where download times depend on the shared prefix
+// clock instead of a precomputed table.
+func TestTreePlannerMatchesBruteForceOracle(t *testing.T) {
+	v := video.TestSet()[0]
+	for ti, tr := range []*trace.Trace{trace.TestSet()[1], trace.TestSet()[5]} {
+		for _, aware := range []bool{false, true} {
+			tree := NewOracle(tr, aware)
+			brute := NewOracle(tr, aware)
+			brute.BruteForce = true
+			pair := &plannerPair{t: t, name: fmt.Sprintf("oracle-aware=%v/t%d", aware, ti), tree: tree, brute: brute}
+			var w []float64
+			if aware {
+				w = v.TrueSensitivity()
+			}
+			if _, err := player.Play(v, tr, pair, w, player.Config{}); err != nil {
+				t.Fatalf("%s: %v", pair.name, err)
+			}
+		}
+	}
+}
+
+// TestTreePlannerMatchesBruteForceFuzz compares the planners on randomized
+// mid-session states, exercising buffer levels, histories and chunk
+// positions that full sessions may not reach.
+func TestTreePlannerMatchesBruteForceFuzz(t *testing.T) {
+	rng := stats.NewRNG(0x7ee5)
+	videos := video.TestSet()[:4]
+	tree := NewSenseiFugu()
+	brute := NewSenseiFugu()
+	brute.BruteForce = true
+	for trial := 0; trial < 200; trial++ {
+		v := videos[rng.Intn(len(videos))]
+		hist := make([]float64, rng.Intn(8))
+		for i := range hist {
+			hist[i] = rng.Range(2e5, 6e6)
+		}
+		s := &player.State{
+			Video:         v,
+			ChunkIndex:    rng.Intn(v.NumChunks()),
+			BufferSec:     rng.Range(0, 30),
+			LastRung:      rng.Intn(len(v.Ladder)+1) - 1,
+			ThroughputBps: hist,
+			Weights:       v.TrueSensitivity(),
+		}
+		got, want := tree.Decide(s), brute.Decide(s)
+		if got != want {
+			t.Fatalf("trial %d (%s chunk %d buffer %.2f): tree %+v, brute %+v",
+				trial, v.Name, s.ChunkIndex, s.BufferSec, got, want)
+		}
+	}
+}
+
+// TestMPCConcurrentDecide exercises one shared MPC instance across
+// goroutines and alternating videos; run with -race it proves the vmaf
+// cache and the pooled planner scratch are goroutine-safe.
+func TestMPCConcurrentDecide(t *testing.T) {
+	videos := video.TestSet()[:4]
+	m := NewSenseiFugu()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(0xca5e + g))
+			for trial := 0; trial < 30; trial++ {
+				v := videos[(g+trial)%len(videos)]
+				s := &player.State{
+					Video:         v,
+					ChunkIndex:    rng.Intn(v.NumChunks()),
+					BufferSec:     rng.Range(0, 25),
+					LastRung:      rng.Intn(len(v.Ladder)),
+					ThroughputBps: []float64{rng.Range(5e5, 4e6), rng.Range(5e5, 4e6)},
+					Weights:       v.TrueSensitivity(),
+				}
+				d := m.Decide(s)
+				if d.Rung < 0 || d.Rung >= len(v.Ladder) {
+					t.Errorf("bad rung %d", d.Rung)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -25,19 +25,24 @@ type OraclePredictor struct {
 // Predict implements Predictor with a single certain scenario that replays
 // the true trace from the session's current position, so planned download
 // times match reality exactly.
-func (o *OraclePredictor) Predict(_ []float64) []Scenario {
+func (o *OraclePredictor) Predict(history []float64) []Scenario {
+	return o.AppendScenarios(history, nil)
+}
+
+// AppendScenarios implements ScenarioAppender.
+func (o *OraclePredictor) AppendScenarios(_ []float64, dst []Scenario) []Scenario {
 	h := o.HorizonSec
 	if h <= 0 {
 		h = 20
 	}
 	cur := trace.NewCursor(o.Trace)
 	cur.Advance(o.nowSec)
-	return []Scenario{{
+	return append(dst, Scenario{
 		Bps:      cur.MeanAhead(h),
 		P:        1,
 		Exact:    o.Trace,
 		StartSec: o.nowSec,
-	}}
+	})
 }
 
 // OracleMPC wraps MPC so the oracle predictor tracks the session's trace

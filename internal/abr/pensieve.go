@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sensei/internal/nn"
 	"sensei/internal/player"
@@ -34,6 +35,14 @@ type Pensieve struct {
 
 	policy  *nn.MLP
 	trained bool
+
+	// initOnce guards lazy policy construction so concurrent Decide calls
+	// on a zero-value agent stay safe; initErr records its outcome.
+	initOnce sync.Once
+	initErr  error
+	// scratch pools per-goroutine activation buffers: one trained agent can
+	// serve any number of concurrent sessions allocation-free.
+	scratch sync.Pool
 }
 
 const (
@@ -149,23 +158,29 @@ func (p *Pensieve) features(s *player.State) []float64 {
 }
 
 // ensurePolicy lazily builds the network so zero-value configs still work.
+// Construction happens at most once; Train and LoadPolicy must run before
+// the agent is shared across goroutines, after which the policy weights
+// are read-only and Decide is safe to call concurrently.
 func (p *Pensieve) ensurePolicy() error {
-	if p.policy != nil {
-		return nil
-	}
-	hidden := p.Hidden
-	if hidden <= 0 {
-		hidden = 48
-	}
-	if p.Horizon <= 0 {
-		p.Horizon = 5
-	}
-	m, err := nn.NewMLP(p.Seed^0x9e4, p.featureSize(), hidden, p.actionCount())
-	if err != nil {
-		return fmt.Errorf("abr: building pensieve policy: %w", err)
-	}
-	p.policy = m
-	return nil
+	p.initOnce.Do(func() {
+		if p.policy != nil {
+			return
+		}
+		hidden := p.Hidden
+		if hidden <= 0 {
+			hidden = 48
+		}
+		if p.Horizon <= 0 {
+			p.Horizon = 5
+		}
+		m, err := nn.NewMLP(p.Seed^0x9e4, p.featureSize(), hidden, p.actionCount())
+		if err != nil {
+			p.initErr = fmt.Errorf("abr: building pensieve policy: %w", err)
+			return
+		}
+		p.policy = m
+	})
+	return p.initErr
 }
 
 // decodeAction maps an action index to a Decision. Actions beyond the rung
@@ -189,8 +204,14 @@ func (p *Pensieve) Decide(s *player.State) player.Decision {
 	if err := p.ensurePolicy(); err != nil {
 		return player.Decision{Rung: 0}
 	}
-	logits := p.policy.Forward(p.features(s))
-	return p.decodeAction(nn.Argmax(logits), s)
+	sc, _ := p.scratch.Get().(*nn.Scratch)
+	if sc == nil {
+		sc = p.policy.NewScratch()
+	}
+	logits := p.policy.ForwardWith(sc, p.features(s))
+	d := p.decodeAction(nn.Argmax(logits), s)
+	p.scratch.Put(sc)
+	return d
 }
 
 // TrainConfig bounds Pensieve training.

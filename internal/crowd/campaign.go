@@ -73,18 +73,41 @@ func NewCampaign(pop *mos.Population, cost CostModel) (*Campaign, error) {
 }
 
 // Rate collects raters ratings of the rendering, applying the integrity
-// filters, and accounts for the watch time.
+// filters, and accounts for the watch time. Rate advances the campaign's
+// rater cursor and is for sequential use; parallel campaigns precompute
+// offsets and use RateAt + Account instead.
 func (c *Campaign) Rate(r *qoe.Rendering, raters int) (RatedRendering, error) {
-	m, rejected, err := mos.CollectMOS(c.pop, r, raters, c.offset)
+	rr, rejected, err := c.RateAt(r, raters, c.offset)
 	if err != nil {
-		return RatedRendering{}, fmt.Errorf("crowd: rating %s: %w", r.Video.Name, err)
+		return RatedRendering{}, err
 	}
 	c.offset += raters + rejected
+	c.Account(r, raters, rejected)
+	return rr, nil
+}
+
+// RateAt collects ratings at an explicit, caller-assigned rater offset
+// without touching campaign state. mos.CollectMOS is a pure function of
+// its arguments, so RateAt calls at precomputed offsets may run
+// concurrently and in any order while returning bit-identical results.
+// Callers apply the bookkeeping afterwards with Account, in task order.
+func (c *Campaign) RateAt(r *qoe.Rendering, raters, offset int) (RatedRendering, int, error) {
+	m, rejected, err := mos.CollectMOS(c.pop, r, raters, offset)
+	if err != nil {
+		return RatedRendering{}, 0, fmt.Errorf("crowd: rating %s: %w", r.Video.Name, err)
+	}
+	return RatedRendering{Rendering: r, MOS: m, Raters: raters}, rejected, nil
+}
+
+// Account applies one rating's cost and rejection bookkeeping. Parallel
+// campaigns call it sequentially in task order after the fan-out joins, so
+// the floating-point watch-time total — and thus CostUSD — is independent
+// of worker count and scheduling.
+func (c *Campaign) Account(r *qoe.Rendering, raters, rejected int) {
 	c.Rejected += rejected
 	dur := r.Video.Duration().Seconds() + r.TotalStallSec()
 	c.WatchedSeconds += dur * float64(raters)
 	c.Views += raters
-	return RatedRendering{Rendering: r, MOS: m, Raters: raters}, nil
 }
 
 // RateSeries rates every rendering in a series with the same rater count.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sensei/internal/mos"
+	"sensei/internal/par"
 	"sensei/internal/qoe"
 	"sensei/internal/video"
 )
@@ -126,9 +127,20 @@ func windowStart(v *video.Video, i int) int {
 	return start
 }
 
-// rateWindow cuts the clip around chunk, injects the incident there, rates
-// it, and returns the regression row in the full video's chunk space.
-func (pr *Profiler) rateWindow(camp *Campaign, v *video.Video, chunk int, inc Incident, raters int) (weightRow, error) {
+// windowRating is the outcome of one windowed rating task: the regression
+// row plus the accounting the campaign absorbs after the fan-out joins.
+type windowRating struct {
+	row       weightRow
+	rendering *qoe.Rendering
+	raters    int
+	rejected  int
+}
+
+// rateWindowAt cuts the clip around chunk, injects the incident there,
+// rates it at the caller-assigned rater offset, and returns the regression
+// row in the full video's chunk space. It does not mutate the campaign, so
+// rating tasks with precomputed offsets run concurrently in any order.
+func (pr *Profiler) rateWindowAt(camp *Campaign, v *video.Video, chunk int, inc Incident, raters, offset int) (windowRating, error) {
 	start := windowStart(v, chunk)
 	end := start + WindowChunks
 	if end > v.NumChunks() {
@@ -136,22 +148,67 @@ func (pr *Profiler) rateWindow(camp *Campaign, v *video.Video, chunk int, inc In
 	}
 	clip, err := v.Excerpt(start, end)
 	if err != nil {
-		return weightRow{}, fmt.Errorf("crowd: window for chunk %d of %q: %w", chunk, v.Name, err)
+		return windowRating{}, fmt.Errorf("crowd: window for chunk %d of %q: %w", chunk, v.Name, err)
 	}
 	r, err := inc.Apply(clip, chunk-start)
 	if err != nil {
-		return weightRow{}, err
+		return windowRating{}, err
 	}
-	rr, err := camp.Rate(r, raters)
+	rr, rejected, err := camp.RateAt(r, raters, offset)
 	if err != nil {
-		return weightRow{}, err
+		return windowRating{}, err
 	}
 	nWin := clip.NumChunks()
 	deficits := make([]float64, v.NumChunks())
 	for j := 0; j < nWin; j++ {
 		deficits[start+j] = qoe.ChunkDeficit(pr.Quality, r, j) / float64(nWin)
 	}
-	return weightRow{deficits: deficits, mos: rr.MOS}, nil
+	return windowRating{
+		row:       weightRow{deficits: deficits, mos: rr.MOS},
+		rendering: r,
+		raters:    raters,
+		rejected:  rejected,
+	}, nil
+}
+
+// windowTask is one scheduled rating: which chunk, which incident, how
+// many raters, and the precomputed rater window it owns.
+type windowTask struct {
+	chunk  int
+	inc    Incident
+	raters int
+	offset int
+}
+
+// windowStride is the slot spacing between consecutive rating tasks.
+// CollectMOS consumes one extra slot per rejected rater, so windows sized
+// exactly `raters` would overlap under rejection and adjacent tasks would
+// share (rater, slot) noise events. Doubling the window keeps tasks'
+// slot ranges disjoint up to a 50% rejection rate — far beyond the
+// integrity filters' real-world few percent.
+func windowStride(raters int) int { return 2 * raters }
+
+// rateAll fans the rating tasks across workers, then absorbs rows and
+// accounting into the campaign in task order, so campaign totals and the
+// regression input are independent of worker count.
+func (pr *Profiler) rateAll(camp *Campaign, v *video.Video, tasks []windowTask, stage string) ([]weightRow, error) {
+	outcomes := make([]windowRating, len(tasks))
+	if err := par.ForEach(len(tasks), func(i int) error {
+		o, err := pr.rateWindowAt(camp, v, tasks[i].chunk, tasks[i].inc, tasks[i].raters, tasks[i].offset)
+		if err != nil {
+			return fmt.Errorf("crowd: %s of %q: %w", stage, v.Name, err)
+		}
+		outcomes[i] = o
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([]weightRow, len(outcomes))
+	for i, o := range outcomes {
+		rows[i] = o.row
+		camp.Account(o.rendering, o.raters, o.rejected)
+	}
+	return rows, nil
 }
 
 // stepTwoIncidents enumerates the incidents probed on selected chunks: B
@@ -179,6 +236,11 @@ func stepTwoIncidents(v *video.Video, p SchedulerParams) []Incident {
 // rebuffer at every chunk (M1 raters each); step two re-probes the chunks
 // whose estimated weight deviates from average by more than α with B
 // bitrate drops and F rebuffer durations (M2 raters each).
+//
+// Rating tasks within each step are sharded per chunk across workers. Each
+// task owns a precomputed rater window (task index × raters per task), so
+// the inferred weights and the campaign bill are bit-identical however
+// many workers run them.
 func (pr *Profiler) Profile(v *video.Video) (*Profile, error) {
 	params := pr.Params
 	params.defaults()
@@ -188,13 +250,18 @@ func (pr *Profiler) Profile(v *video.Video) (*Profile, error) {
 	}
 
 	// Step one.
-	var rows []weightRow
-	for chunk := 0; chunk < v.NumChunks(); chunk++ {
-		row, err := pr.rateWindow(camp, v, chunk, Incident{Kind: KindRebuffer, StallSec: 1}, params.M1)
-		if err != nil {
-			return nil, fmt.Errorf("crowd: step one of %q: %w", v.Name, err)
+	stepOne := make([]windowTask, v.NumChunks())
+	for chunk := range stepOne {
+		stepOne[chunk] = windowTask{
+			chunk:  chunk,
+			inc:    Incident{Kind: KindRebuffer, StallSec: 1},
+			raters: params.M1,
+			offset: chunk * windowStride(params.M1),
 		}
-		rows = append(rows, row)
+	}
+	rows, err := pr.rateAll(camp, v, stepOne, "step one")
+	if err != nil {
+		return nil, err
 	}
 	weights, err := solveWeights(v.NumChunks(), rows, params.RidgeLambda)
 	if err != nil {
@@ -209,20 +276,28 @@ func (pr *Profiler) Profile(v *video.Video) (*Profile, error) {
 		}
 	}
 	if len(probe) > 0 {
+		stepTwoBase := v.NumChunks() * windowStride(params.M1)
 		incidents := stepTwoIncidents(v, params)
+		var stepTwo []windowTask
 		for _, chunk := range probe {
 			for _, inc := range incidents {
 				// Step one already covered the 1-second rebuffer.
 				if inc.Kind == KindRebuffer && inc.StallSec == 1 {
 					continue
 				}
-				row, err := pr.rateWindow(camp, v, chunk, inc, params.M2)
-				if err != nil {
-					return nil, fmt.Errorf("crowd: step two of %q: %w", v.Name, err)
-				}
-				rows = append(rows, row)
+				stepTwo = append(stepTwo, windowTask{
+					chunk:  chunk,
+					inc:    inc,
+					raters: params.M2,
+					offset: stepTwoBase + len(stepTwo)*windowStride(params.M2),
+				})
 			}
 		}
+		moreRows, err := pr.rateAll(camp, v, stepTwo, "step two")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, moreRows...)
 		weights, err = solveWeights(v.NumChunks(), rows, params.RidgeLambda)
 		if err != nil {
 			return nil, err
@@ -244,7 +319,8 @@ func (pr *Profiler) Profile(v *video.Video) (*Profile, error) {
 
 // ProfileFull runs the unpruned strawman (Fig 12c's "w/o cost pruning"):
 // every chunk × every lower rung × rebuffer durations 1..5s, each windowed
-// clip rated by 30 raters, with weights inferred from the full set.
+// clip rated by 30 raters, with weights inferred from the full set. The
+// chunk × incident grid is sharded across workers like Profile's steps.
 func (pr *Profiler) ProfileFull(v *video.Video) (*Profile, error) {
 	params := pr.Params
 	params.defaults()
@@ -253,7 +329,7 @@ func (pr *Profiler) ProfileFull(v *video.Video) (*Profile, error) {
 		return nil, err
 	}
 	const fullRaters = 30
-	var rows []weightRow
+	var tasks []windowTask
 	for chunk := 0; chunk < v.NumChunks(); chunk++ {
 		var incidents []Incident
 		for rung := 0; rung < len(v.Ladder)-1; rung++ {
@@ -263,12 +339,17 @@ func (pr *Profiler) ProfileFull(v *video.Video) (*Profile, error) {
 			incidents = append(incidents, Incident{Kind: KindRebuffer, StallSec: float64(stall)})
 		}
 		for _, inc := range incidents {
-			row, err := pr.rateWindow(camp, v, chunk, inc, fullRaters)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			tasks = append(tasks, windowTask{
+				chunk:  chunk,
+				inc:    inc,
+				raters: fullRaters,
+				offset: len(tasks) * windowStride(fullRaters),
+			})
 		}
+	}
+	rows, err := pr.rateAll(camp, v, tasks, "full profile")
+	if err != nil {
+		return nil, err
 	}
 	weights, err := solveWeights(v.NumChunks(), rows, params.RidgeLambda)
 	if err != nil {
@@ -287,17 +368,24 @@ func (pr *Profiler) ProfileFull(v *video.Video) (*Profile, error) {
 }
 
 // ProfileAll profiles every video, returning a name-indexed weight map
-// ready for qoe.NewSenseiModel, plus the per-video profiles.
+// ready for qoe.NewSenseiModel, plus the per-video profiles. Campaigns are
+// independent per video, so videos profile concurrently on top of each
+// profile's own per-chunk sharding.
 func (pr *Profiler) ProfileAll(videos []*video.Video) (map[string][]float64, []*Profile, error) {
-	weights := make(map[string][]float64, len(videos))
-	profiles := make([]*Profile, 0, len(videos))
-	for _, v := range videos {
-		p, err := pr.Profile(v)
+	profiles := make([]*Profile, len(videos))
+	if err := par.ForEach(len(videos), func(i int) error {
+		p, err := pr.Profile(videos[i])
 		if err != nil {
-			return nil, nil, fmt.Errorf("crowd: profiling %q: %w", v.Name, err)
+			return fmt.Errorf("crowd: profiling %q: %w", videos[i].Name, err)
 		}
-		weights[v.Name] = p.Weights
-		profiles = append(profiles, p)
+		profiles[i] = p
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	weights := make(map[string][]float64, len(videos))
+	for _, p := range profiles {
+		weights[p.VideoName] = p.Weights
 	}
 	return weights, profiles, nil
 }

@@ -141,12 +141,18 @@ func TestShaperValidates(t *testing.T) {
 	}
 }
 
-// endToEnd spins up a server and streams with the given algorithm.
+// endToEnd spins up a server and streams with the given algorithm. The
+// emulation compresses virtual time 500×; under the race detector the
+// instrumentation cannot keep that schedule, so compression drops to 50×.
 func endToEnd(t *testing.T, alg player.Algorithm, weights []float64, meanBps float64) *Session {
 	t.Helper()
+	scale := 0.002
+	if raceEnabled {
+		scale = 0.02
+	}
 	v := testVideo(t)
 	tr := trace.Generate(trace.GenSpec{Name: "e2e", Kind: trace.KindFCC, MeanBps: meanBps, Seconds: 600, Seed: 5})
-	shaper, err := NewShaper(tr, 0.002)
+	shaper, err := NewShaper(tr, scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +169,7 @@ func endToEnd(t *testing.T, alg player.Algorithm, weights []float64, meanBps flo
 	client := &Client{
 		BaseURL:   "http://" + addr,
 		Algorithm: alg,
-		TimeScale: 0.002,
+		TimeScale: scale,
 	}
 	sess, err := client.Stream(v)
 	if err != nil {

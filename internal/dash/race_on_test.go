@@ -1,0 +1,9 @@
+//go:build race
+
+package dash
+
+// raceEnabled slows the emulated-time tests under the race detector: its
+// instrumentation overhead breaks the 500× time compression used in
+// normal runs, so the client misses the shaper's schedule and buffers
+// never build.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 
 	"sensei/internal/abr"
 	"sensei/internal/crowd"
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/stats"
 	"sensei/internal/trace"
@@ -32,7 +33,11 @@ type gainSet struct {
 }
 
 // headlineGains runs the §7.2 end-to-end matrix once and caches nothing:
-// callers slice it per figure.
+// callers slice it per figure. The (video, trace) cells fan out across
+// workers; each cell owns the four rater windows its position implies, so
+// the matrix is identical at any worker count. The shared algorithm
+// instances are safe here: MPC keys its VMAF cache per video and pools its
+// planner scratch, and a trained Pensieve's policy is read-only.
 func (l *Lab) headlineGains(videos []*video.Video, traces []*trace.Trace) ([]gainSet, error) {
 	weights, _, err := l.Weights()
 	if err != nil {
@@ -42,34 +47,40 @@ func (l *Lab) headlineGains(videos []*video.Video, traces []*trace.Trace) ([]gai
 	if err != nil {
 		return nil, err
 	}
-	var out []gainSet
-	offset := 900000
-	for _, v := range videos {
+	// Headline SENSEI is the MPC variant: our from-scratch RL substrate is
+	// weaker than the paper's A3C setup, and Fig 18a shows the two SENSEI
+	// variants perform on par (see DESIGN.md).
+	sensei := abr.NewSenseiFugu()
+	bba, fugu := abr.NewBBA(), abr.NewFugu()
+	const base = 900000
+	out := make([]gainSet, len(videos)*len(traces))
+	err = par.ForEach(len(out), func(ci int) error {
+		v := videos[ci/len(traces)]
+		tr := traces[ci%len(traces)]
 		w := weights[v.Name]
-		// Headline SENSEI is the MPC variant: our from-scratch RL
-		// substrate is weaker than the paper's A3C setup, and Fig 18a
-		// shows the two SENSEI variants perform on par (see DESIGN.md).
-		sensei := abr.NewSenseiFugu()
-		for _, tr := range traces {
-			g := gainSet{video: v.Name, trace: tr.Name}
-			if g.bba, err = l.sessionQoE(v, tr, abr.NewBBA(), nil, offset); err != nil {
-				return nil, err
-			}
-			offset += l.raters()
-			if g.fugu, err = l.sessionQoE(v, tr, abr.NewFugu(), nil, offset); err != nil {
-				return nil, err
-			}
-			offset += l.raters()
-			if g.pensieve, err = l.sessionQoE(v, tr, pens, nil, offset); err != nil {
-				return nil, err
-			}
-			offset += l.raters()
-			if g.sensei, err = l.sessionQoE(v, tr, sensei, w, offset); err != nil {
-				return nil, err
-			}
-			offset += l.raters()
-			out = append(out, g)
+		g := gainSet{video: v.Name, trace: tr.Name}
+		offset := base + ci*4*l.raters()
+		var err error
+		if g.bba, err = l.sessionQoE(v, tr, bba, nil, offset); err != nil {
+			return err
 		}
+		offset += l.raters()
+		if g.fugu, err = l.sessionQoE(v, tr, fugu, nil, offset); err != nil {
+			return err
+		}
+		offset += l.raters()
+		if g.pensieve, err = l.sessionQoE(v, tr, pens, nil, offset); err != nil {
+			return err
+		}
+		offset += l.raters()
+		if g.sensei, err = l.sessionQoE(v, tr, sensei, w, offset); err != nil {
+			return err
+		}
+		out[ci] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -163,25 +174,44 @@ func (l *Lab) Fig12b() (*Fig12bResult, error) {
 	base := l.TestTraces()[7] // fcc-3.5M
 	res := &Fig12bResult{TargetQoE: 0.75}
 	scales := []int{20, 35, 50, 65, 80, 100}
-	offset := 1500000
-	for _, sc := range scales {
-		tr := base.Scaled(float64(sc) / 100)
+	scaled := make([]*trace.Trace, len(scales))
+	for si, sc := range scales {
+		scaled[si] = base.Scaled(float64(sc) / 100)
+	}
+	// One task per (scale, video, algorithm) session; results land in
+	// indexed slots and are reduced in index order afterwards, so the
+	// curves are identical at any worker count.
+	algs := []struct {
+		alg      player.Algorithm
+		weighted bool
+	}{
+		{abr.NewBBA(), false}, {abr.NewFugu(), false}, {pens, false}, {abr.NewSenseiFugu(), true},
+	}
+	const offsetBase = 1500000
+	qoes := make([]float64, len(scales)*len(videos)*len(algs))
+	err = par.ForEach(len(qoes), func(i int) error {
+		si := i / (len(videos) * len(algs))
+		vi := i / len(algs) % len(videos)
+		v, a := videos[vi], algs[i%len(algs)]
+		var w []float64
+		if a.weighted {
+			w = weights[v.Name]
+		}
+		q, err := l.sessionQoE(v, scaled[si], a.alg, w, offsetBase+i*l.raters())
+		if err != nil {
+			return err
+		}
+		qoes[i] = q
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scales {
 		var sums [4]float64
-		for _, v := range videos {
-			w := weights[v.Name]
-			algs := []struct {
-				alg player.Algorithm
-				w   []float64
-			}{
-				{abr.NewBBA(), nil}, {abr.NewFugu(), nil}, {pens, nil}, {abr.NewSenseiFugu(), w},
-			}
-			for k, a := range algs {
-				q, err := l.sessionQoE(v, tr, a.alg, a.w, offset)
-				if err != nil {
-					return nil, err
-				}
-				offset += l.raters()
-				sums[k] += q
+		for vi := range videos {
+			for k := range algs {
+				sums[k] += qoes[(si*len(videos)+vi)*len(algs)+k]
 			}
 		}
 		n := float64(len(videos))
@@ -268,13 +298,20 @@ func (l *Lab) Fig12c() (*Fig12cResult, error) {
 		traces = traces[2:7]
 	}
 	meanQoE := func(alg player.Algorithm, w []float64, offset int) (float64, error) {
-		var s float64
-		for _, tr := range traces {
-			q, err := l.sessionQoE(v, tr, alg, w, offset)
+		qoes := make([]float64, len(traces))
+		err := par.ForEach(len(traces), func(ti int) error {
+			q, err := l.sessionQoE(v, traces[ti], alg, w, offset+ti*l.raters())
 			if err != nil {
-				return 0, err
+				return err
 			}
-			offset += l.raters()
+			qoes[ti] = q
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var s float64
+		for _, q := range qoes {
 			s += q
 		}
 		return s / float64(len(traces)), nil
@@ -449,29 +486,48 @@ func (l *Lab) Fig17() (*Fig17Result, error) {
 	base := l.TestTraces()[4] // fcc-1.7M: stressed enough that alignment matters
 	res := &Fig17Result{}
 	levels := []int{0, 400, 800, 1200, 1600}
+	// Noise traces derive from one sequential stream (order matters for
+	// the fork chain); the sessions over them fan out.
 	rng := stats.NewRNG(0x17)
-	for _, kbps := range levels {
-		tr := base
+	noisy := make([]*trace.Trace, len(levels))
+	for li, kbps := range levels {
+		noisy[li] = base
 		if kbps > 0 {
-			tr = base.WithNoise(float64(kbps)*1000, 10_000, rng.Fork())
+			noisy[li] = base.WithNoise(float64(kbps)*1000, 10_000, rng.Fork())
 		}
+	}
+	algs := []struct {
+		alg      player.Algorithm
+		weighted bool
+	}{
+		{senseiPens, true}, {pens, false}, {abr.NewSenseiFugu(), true}, {abr.NewFugu(), false},
+	}
+	qoes := make([]float64, len(levels)*len(videos)*len(algs))
+	err = par.ForEach(len(qoes), func(i int) error {
+		li := i / (len(videos) * len(algs))
+		vi := i / len(algs) % len(videos)
+		v, a := videos[vi], algs[i%len(algs)]
+		var w []float64
+		if a.weighted {
+			w = weights[v.Name]
+		}
+		resPlay, err := player.Play(v, noisy[li], a.alg, w, player.Config{})
+		if err != nil {
+			return err
+		}
+		// §7.4 evaluates with the SENSEI QoE model at scale; true
+		// weights give the model's asymptotic form.
+		qoes[i] = abr.WeightedSessionQoE(resPlay.Rendering, v.TrueSensitivity())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, kbps := range levels {
 		var sums [4]float64
-		for _, v := range videos {
-			w := weights[v.Name]
-			runs := []struct {
-				alg player.Algorithm
-				w   []float64
-			}{
-				{senseiPens, w}, {pens, nil}, {abr.NewSenseiFugu(), w}, {abr.NewFugu(), nil},
-			}
-			for k, rn := range runs {
-				resPlay, err := player.Play(v, tr, rn.alg, rn.w, player.Config{})
-				if err != nil {
-					return nil, err
-				}
-				// §7.4 evaluates with the SENSEI QoE model at scale; true
-				// weights give the model's asymptotic form.
-				sums[k] += abr.WeightedSessionQoE(resPlay.Rendering, v.TrueSensitivity())
+		for vi := range videos {
+			for k := range algs {
+				sums[k] += qoes[(li*len(videos)+vi)*len(algs)+k]
 			}
 		}
 		n := float64(len(videos))
@@ -525,32 +581,41 @@ func (l *Lab) Fig18() (*Fig18Result, error) {
 	bitrateOnly := abr.NewSenseiFugu()
 	bitrateOnly.PreStallChoices = nil
 
-	sums := map[string]float64{}
-	var n float64
-	for _, v := range videos {
-		w := weights[v.Name]
-		for _, tr := range traces {
-			runs := []struct {
-				key string
-				alg player.Algorithm
-				w   []float64
-			}{
-				{"bba", abr.NewBBA(), nil},
-				{"fugu", abr.NewFugu(), nil},
-				{"sfugu", abr.NewSenseiFugu(), w},
-				{"pens", pens, nil},
-				{"spens", senseiPens, w},
-				{"sbitrate", bitrateOnly, w},
-			}
-			for _, rn := range runs {
-				res, err := player.Play(v, tr, rn.alg, rn.w, player.Config{})
-				if err != nil {
-					return nil, err
-				}
-				sums[rn.key] += abr.WeightedSessionQoE(res.Rendering, v.TrueSensitivity())
-			}
-			n++
+	runs := []struct {
+		key      string
+		alg      player.Algorithm
+		weighted bool
+	}{
+		{"bba", abr.NewBBA(), false},
+		{"fugu", abr.NewFugu(), false},
+		{"sfugu", abr.NewSenseiFugu(), true},
+		{"pens", pens, false},
+		{"spens", senseiPens, true},
+		{"sbitrate", bitrateOnly, true},
+	}
+	qoes := make([]float64, len(videos)*len(traces)*len(runs))
+	err = par.ForEach(len(qoes), func(i int) error {
+		vi := i / (len(traces) * len(runs))
+		ti := i / len(runs) % len(traces)
+		v, rn := videos[vi], runs[i%len(runs)]
+		var w []float64
+		if rn.weighted {
+			w = weights[v.Name]
 		}
+		res, err := player.Play(v, traces[ti], rn.alg, w, player.Config{})
+		if err != nil {
+			return err
+		}
+		qoes[i] = abr.WeightedSessionQoE(res.Rendering, v.TrueSensitivity())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	n := float64(len(videos) * len(traces))
+	for i, q := range qoes {
+		sums[runs[i%len(runs)].key] += q
 	}
 	for k := range sums {
 		sums[k] /= n

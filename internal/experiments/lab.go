@@ -11,6 +11,7 @@ import (
 	"sensei/internal/abr"
 	"sensei/internal/crowd"
 	"sensei/internal/mos"
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/stats"
@@ -182,7 +183,9 @@ func (l *Lab) Weights() (map[string][]float64, []*crowd.Profile, error) {
 }
 
 // renderWithABRs creates the §2.2 dataset: each (video, trace) streamed by
-// BBA, Fugu and Pensieve, rated by the crowd.
+// BBA, Fugu and Pensieve, rated by the crowd. Sessions fan out across
+// workers; each (video, trace, algorithm) cell owns the rater offset its
+// position implies, so the dataset is identical at any worker count.
 func (l *Lab) renderWithABRs() ([]qoe.Sample, error) {
 	pop, _, err := l.Populations()
 	if err != nil {
@@ -192,24 +195,27 @@ func (l *Lab) renderWithABRs() ([]qoe.Sample, error) {
 	if err != nil {
 		return nil, err
 	}
+	videos := l.Videos()
+	traces := l.ModelTraces()
 	algos := []player.Algorithm{abr.NewBBA(), abr.NewFugu(), pens}
-	var out []qoe.Sample
-	offset := 0
-	for _, v := range l.Videos() {
-		for _, tr := range l.ModelTraces() {
-			for _, alg := range algos {
-				res, err := player.Play(v, tr, alg, nil, player.Config{})
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s on %s/%s: %w", alg.Name(), v.Name, tr.Name, err)
-				}
-				m, err := l.trueMOS(pop, res.Rendering, offset)
-				if err != nil {
-					return nil, err
-				}
-				offset += l.raters()
-				out = append(out, qoe.Sample{Rendering: res.Rendering, TrueQoE: m})
-			}
+	out := make([]qoe.Sample, len(videos)*len(traces)*len(algos))
+	err = par.ForEach(len(out), func(i int) error {
+		vi := i / (len(traces) * len(algos))
+		ti := i / len(algos) % len(traces)
+		v, tr, alg := videos[vi], traces[ti], algos[i%len(algos)]
+		res, err := player.Play(v, tr, alg, nil, player.Config{})
+		if err != nil {
+			return fmt.Errorf("experiments: %s on %s/%s: %w", alg.Name(), v.Name, tr.Name, err)
 		}
+		m, err := l.trueMOS(pop, res.Rendering, i*l.raters())
+		if err != nil {
+			return err
+		}
+		out[i] = qoe.Sample{Rendering: res.Rendering, TrueQoE: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -221,10 +227,12 @@ func (l *Lab) randomRenderings(n int, seed uint64) ([]qoe.Sample, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Rendering synthesis stays on one sequential stream (it is cheap);
+	// the expensive crowd rating fans out, each rendering owning the rater
+	// window its index implies.
 	rng := stats.NewRNG(seed)
 	videos := l.Videos()
-	var out []qoe.Sample
-	offset := 1 << 20 // disjoint rater window from renderWithABRs
+	renderings := make([]*qoe.Rendering, n)
 	for i := 0; i < n; i++ {
 		v := videos[rng.Intn(len(videos))]
 		r := qoe.NewRendering(v)
@@ -236,12 +244,20 @@ func (l *Lab) randomRenderings(n int, seed uint64) ([]qoe.Sample, error) {
 		if rng.Bool(0.5) {
 			r.StallSec[1+rng.Intn(v.NumChunks()-1)] = float64(1 + rng.Intn(2))
 		}
-		m, err := l.trueMOS(pop, r, offset)
+		renderings[i] = r
+	}
+	out := make([]qoe.Sample, n)
+	const base = 1 << 20 // disjoint rater window from renderWithABRs
+	err = par.ForEach(n, func(i int) error {
+		m, err := l.trueMOS(pop, renderings[i], base+i*l.raters())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		offset += l.raters()
-		out = append(out, qoe.Sample{Rendering: r, TrueQoE: m})
+		out[i] = qoe.Sample{Rendering: renderings[i], TrueQoE: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -276,26 +292,26 @@ func (l *Lab) Models() (*qoe.KSQI, *qoe.P1203, *qoe.LSTMQoE, *qoe.SenseiModel, e
 			return
 		}
 		train := fig15[:len(fig15)*5/8] // 400 of 640
+		// The model fits are independent (SENSEI wraps KSQI, so those two
+		// chain in one task) and each is internally sequential and seeded,
+		// so fitting in parallel changes nothing but wall-clock.
 		l.ksqi = &qoe.KSQI{}
-		if err := l.ksqi.Fit(train); err != nil {
-			l.modelsErr = err
-			return
-		}
 		l.p1203 = &qoe.P1203{Seed: 0x12, Trees: l.forestSize()}
-		if err := l.p1203.Fit(train); err != nil {
-			l.modelsErr = err
-			return
-		}
 		l.lstm = &qoe.LSTMQoE{Seed: 0x34, Hidden: 8, Epochs: l.lstmEpochs()}
-		if err := l.lstm.Fit(train); err != nil {
-			l.modelsErr = err
-			return
-		}
-		l.sensei = qoe.NewSenseiModel(l.ksqi, weights)
-		if err := l.sensei.Fit(train); err != nil {
-			l.modelsErr = err
-			return
-		}
+		l.modelsErr = par.ForEach(3, func(i int) error {
+			switch i {
+			case 0:
+				if err := l.ksqi.Fit(train); err != nil {
+					return err
+				}
+				l.sensei = qoe.NewSenseiModel(l.ksqi, weights)
+				return l.sensei.Fit(train)
+			case 1:
+				return l.p1203.Fit(train)
+			default:
+				return l.lstm.Fit(train)
+			}
+		})
 	})
 	return l.ksqi, l.p1203, l.lstm, l.sensei, l.modelsErr
 }
@@ -335,16 +351,22 @@ func (l *Lab) Agents() (*abr.Pensieve, *abr.Pensieve, error) {
 		pool := trace.TrainingSet(24, 0x99)
 		cfg := abr.TrainConfig{Episodes: l.rlEpisodes()}
 
+		// The two agents share only read-only fixtures and train from
+		// independent seeds, so the trainings run concurrently.
 		l.pensieve = abr.NewPensieve(0x5)
-		if _, err := l.pensieve.Train(l.Videos(), pool, nil, cfg); err != nil {
-			l.agentsErr = fmt.Errorf("experiments: training pensieve: %w", err)
-			return
-		}
 		l.senseiPensieve = abr.NewSenseiPensieve(0x5)
-		if _, err := l.senseiPensieve.Train(l.Videos(), pool, weights, cfg); err != nil {
-			l.agentsErr = fmt.Errorf("experiments: training sensei-pensieve: %w", err)
-			return
-		}
+		l.agentsErr = par.ForEach(2, func(i int) error {
+			if i == 0 {
+				if _, err := l.pensieve.Train(l.Videos(), pool, nil, cfg); err != nil {
+					return fmt.Errorf("experiments: training pensieve: %w", err)
+				}
+				return nil
+			}
+			if _, err := l.senseiPensieve.Train(l.Videos(), pool, weights, cfg); err != nil {
+				return fmt.Errorf("experiments: training sensei-pensieve: %w", err)
+			}
+			return nil
+		})
 	})
 	return l.pensieve, l.senseiPensieve, l.agentsErr
 }

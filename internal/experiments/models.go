@@ -5,6 +5,7 @@ import (
 
 	"sensei/internal/crowd"
 	"sensei/internal/mos"
+	"sensei/internal/par"
 	"sensei/internal/qoe"
 	"sensei/internal/stats"
 )
@@ -47,7 +48,9 @@ func (l *Lab) Fig2() (*Fig2Result, error) {
 		predictions[name] = make([]float64, len(fig2Data))
 	}
 
-	for fold := 0; fold < folds; fold++ {
+	// Folds train disjoint model instances and write disjoint prediction
+	// slots, so they run concurrently.
+	if err := par.ForEach(folds, func(fold int) error {
 		var train, test []qoe.Sample
 		var testIdx []int
 		for t := 0; t < nTriples; t++ {
@@ -61,25 +64,28 @@ func (l *Lab) Fig2() (*Fig2Result, error) {
 		}
 		ksqi := &qoe.KSQI{}
 		if err := ksqi.Fit(train); err != nil {
-			return nil, err
+			return err
 		}
 		p1203 := &qoe.P1203{Seed: 0x22 + uint64(fold), Trees: l.forestSize()}
 		if err := p1203.Fit(train); err != nil {
-			return nil, err
+			return err
 		}
 		lstm := &qoe.LSTMQoE{Seed: 0x24 + uint64(fold), Hidden: 8, Epochs: l.lstmEpochs()}
 		if err := lstm.Fit(train); err != nil {
-			return nil, err
+			return err
 		}
 		sensei := qoe.NewSenseiModel(ksqi, weights)
 		if err := sensei.Fit(train); err != nil {
-			return nil, err
+			return err
 		}
 		for _, m := range []qoe.Model{sensei, ksqi, p1203, lstm} {
 			for k, s := range test {
 				predictions[m.Name()][testIdx[k]] = m.Predict(s.Rendering)
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	res := &Fig2Result{}
@@ -202,8 +208,7 @@ func (l *Lab) fig16EvalSet(v int, n int) ([]qoe.Sample, error) {
 	}
 	vid := l.Videos()[v]
 	rng := stats.NewRNG(0x16e)
-	var out []qoe.Sample
-	offset := 500000
+	renderings := make([]*qoe.Rendering, n)
 	for i := 0; i < n; i++ {
 		r := qoe.NewRendering(vid)
 		for c := range r.Rungs {
@@ -212,12 +217,19 @@ func (l *Lab) fig16EvalSet(v int, n int) ([]qoe.Sample, error) {
 		if rng.Bool(0.6) {
 			r.StallSec[rng.Intn(vid.NumChunks())] += float64(1 + rng.Intn(2))
 		}
-		m, err := l.trueMOS(pop, r, offset)
+		renderings[i] = r
+	}
+	out := make([]qoe.Sample, n)
+	const base = 500000
+	if err := par.ForEach(n, func(i int) error {
+		m, err := l.trueMOS(pop, renderings[i], base+i*l.raters())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		offset += l.raters()
-		out = append(out, qoe.Sample{Rendering: r, TrueQoE: m})
+		out[i] = qoe.Sample{Rendering: renderings[i], TrueQoE: m}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -265,44 +277,48 @@ func (l *Lab) Fig16() (*Fig16Result, error) {
 	}
 	res := &Fig16Result{Panels: map[string][]Fig16Point{}}
 
-	add := func(panel, setting string, params crowd.SchedulerParams) error {
-		pt, err := l.fig16Accuracy(videoIdx, params, eval)
-		if err != nil {
-			return fmt.Errorf("experiments: fig16 %s=%s: %w", panel, setting, err)
-		}
-		pt.Setting = setting
-		res.Panels[panel] = append(res.Panels[panel], pt)
-		return nil
+	// The sweep grid is embarrassingly parallel: every point profiles the
+	// video with its own campaign against the shared read-only population.
+	type sweepPoint struct {
+		panel, setting string
+		params         crowd.SchedulerParams
 	}
-
+	var grid []sweepPoint
 	for _, b := range []int{1, 2, 3, 4} {
 		p := crowd.DefaultSchedulerParams()
 		p.BitrateLevels = b
-		if err := add("B bitrate levels", fmt.Sprintf("B=%d", b), p); err != nil {
-			return nil, err
-		}
+		grid = append(grid, sweepPoint{"B bitrate levels", fmt.Sprintf("B=%d", b), p})
 	}
 	for _, f := range []int{1, 2, 3, 5} {
 		p := crowd.DefaultSchedulerParams()
 		p.RebufferLevels = f
-		if err := add("F rebuffer levels", fmt.Sprintf("F=%d", f), p); err != nil {
-			return nil, err
-		}
+		grid = append(grid, sweepPoint{"F rebuffer levels", fmt.Sprintf("F=%d", f), p})
 	}
 	for _, m := range []int{5, 10, 20, 30} {
 		p := crowd.DefaultSchedulerParams()
 		p.M1 = m
 		p.M2 = m / 2
-		if err := add("M raters per video", fmt.Sprintf("M1=%d", m), p); err != nil {
-			return nil, err
-		}
+		grid = append(grid, sweepPoint{"M raters per video", fmt.Sprintf("M1=%d", m), p})
 	}
 	for _, a := range []float64{0.02, 0.06, 0.12, 0.25} {
 		p := crowd.DefaultSchedulerParams()
 		p.Alpha = a
-		if err := add("alpha threshold", fmt.Sprintf("a=%.0f%%", a*100), p); err != nil {
-			return nil, err
+		grid = append(grid, sweepPoint{"alpha threshold", fmt.Sprintf("a=%.0f%%", a*100), p})
+	}
+	points := make([]Fig16Point, len(grid))
+	if err := par.ForEach(len(grid), func(i int) error {
+		pt, err := l.fig16Accuracy(videoIdx, grid[i].params, eval)
+		if err != nil {
+			return fmt.Errorf("experiments: fig16 %s=%s: %w", grid[i].panel, grid[i].setting, err)
 		}
+		pt.Setting = grid[i].setting
+		points[i] = pt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, sp := range grid {
+		res.Panels[sp.panel] = append(res.Panels[sp.panel], points[i])
 	}
 	return res, nil
 }

@@ -6,8 +6,10 @@ import (
 	"sensei/internal/abr"
 	"sensei/internal/crowd"
 	"sensei/internal/mos"
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/stats"
+	"sensei/internal/trace"
 	"sensei/internal/video"
 )
 
@@ -56,14 +58,21 @@ func (l *Lab) Fig1() (*Fig1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig1Result{}
-	for i, r := range series {
-		m, err := l.trueMOS(pop, r, 7000+i*l.raters())
+	res := &Fig1Result{
+		PositionSec: make([]int, len(series)),
+		MOS:         make([]float64, len(series)),
+	}
+	err = par.ForEach(len(series), func(i int) error {
+		m, err := l.trueMOS(pop, series[i], 7000+i*l.raters())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PositionSec = append(res.PositionSec, i*4)
-		res.MOS = append(res.MOS, m)
+		res.PositionSec[i] = i * 4
+		res.MOS[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.GapPct = (stats.Max(res.MOS) - stats.Min(res.MOS)) / stats.Min(res.MOS)
 	return res, nil
@@ -99,19 +108,24 @@ func seriesIncidents() []crowd.Incident {
 	}
 }
 
-// seriesMOS rates a full video series.
+// seriesMOS rates a full video series, fanning the per-position ratings
+// across workers; position i owns rater window offset + i*raters.
 func (l *Lab) seriesMOS(pop *mos.Population, clip *video.Video, inc crowd.Incident, offset int) ([]float64, error) {
 	series, err := crowd.VideoSeries(clip, inc)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(series))
-	for i, r := range series {
-		m, err := l.trueMOS(pop, r, offset+i*l.raters())
+	err = par.ForEach(len(series), func(i int) error {
+		m, err := l.trueMOS(pop, series[i], offset+i*l.raters())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -134,25 +148,52 @@ func (l *Lab) Fig3() (*Fig3Result, error) {
 		return nil, err
 	}
 	res := &Fig3Result{}
-	offset := 30000
-	for _, clip := range l.Excerpts() {
-		for _, inc := range seriesIncidents() {
-			ms, err := l.seriesMOS(pop, clip, inc, offset)
-			if err != nil {
-				return nil, err
-			}
-			offset += len(ms) * l.raters()
-			gap := (stats.Max(ms) - stats.Min(ms)) / stats.Min(ms)
-			res.WholeGaps = append(res.WholeGaps, gap)
-			// 12-second windows (3 chunks) at 4-second boundaries.
-			for s := 0; s+3 <= len(ms); s++ {
-				win := ms[s : s+3]
-				res.WindowGaps = append(res.WindowGaps, (stats.Max(win)-stats.Min(win))/stats.Min(win))
-			}
+	tasks := seriesTasks(l.Excerpts(), seriesIncidents(), 30000, l.raters())
+	series := make([][]float64, len(tasks))
+	if err := par.ForEach(len(tasks), func(t int) error {
+		ms, err := l.seriesMOS(pop, tasks[t].clip, tasks[t].inc, tasks[t].offset)
+		if err != nil {
+			return err
+		}
+		series[t] = ms
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, ms := range series {
+		gap := (stats.Max(ms) - stats.Min(ms)) / stats.Min(ms)
+		res.WholeGaps = append(res.WholeGaps, gap)
+		// 12-second windows (3 chunks) at 4-second boundaries.
+		for s := 0; s+3 <= len(ms); s++ {
+			win := ms[s : s+3]
+			res.WindowGaps = append(res.WindowGaps, (stats.Max(win)-stats.Min(win))/stats.Min(win))
 		}
 	}
 	res.Above40Pct = 1 - stats.FractionAtMost(res.WholeGaps, 0.40)
 	return res, nil
+}
+
+// seriesTask is one (clip, incident) series study with its precomputed
+// rater window.
+type seriesTask struct {
+	clip   *video.Video
+	inc    crowd.Incident
+	offset int
+}
+
+// seriesTasks lays the (clip, incident) grid over consecutive rater
+// windows — clip-major, incident-minor, each consuming one window per
+// chunk position — matching the sequential accounting exactly.
+func seriesTasks(clips []*video.Video, incs []crowd.Incident, base, raters int) []seriesTask {
+	var tasks []seriesTask
+	offset := base
+	for _, clip := range clips {
+		for _, inc := range incs {
+			tasks = append(tasks, seriesTask{clip: clip, inc: inc, offset: offset})
+			offset += clip.NumChunks() * raters
+		}
+	}
+	return tasks
 }
 
 // Render formats the CDF summaries.
@@ -183,15 +224,17 @@ func (l *Lab) Fig4() (*Fig4Result, error) {
 	}
 	clip := l.excerptByName("Soccer1")
 	res := &Fig4Result{}
-	offset := 90000
-	for k, inc := range seriesIncidents() {
-		ms, err := l.seriesMOS(pop, clip, inc, offset)
+	tasks := seriesTasks([]*video.Video{clip}, seriesIncidents(), 90000, l.raters())
+	if err := par.ForEach(len(tasks), func(k int) error {
+		ms, err := l.seriesMOS(pop, clip, tasks[k].inc, tasks[k].offset)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		offset += len(ms) * l.raters()
 		res.MOS[k] = ms
-		res.Incidents[k] = inc.String()
+		res.Incidents[k] = tasks[k].inc.String()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i := range res.MOS[0] {
 		res.PositionSec = append(res.PositionSec, i*4)
@@ -227,20 +270,24 @@ func (l *Lab) Fig5() (*Fig5Result, error) {
 	}
 	res := &Fig5Result{}
 	incidents := seriesIncidents()
-	offset := 140000
-	for _, clip := range l.Excerpts() {
-		var series [3][]float64
-		for k, inc := range incidents {
-			ms, err := l.seriesMOS(pop, clip, inc, offset)
-			if err != nil {
-				return nil, err
-			}
-			offset += len(ms) * l.raters()
-			series[k] = ms
+	clips := l.Excerpts()
+	tasks := seriesTasks(clips, incidents, 140000, l.raters())
+	series := make([][]float64, len(tasks))
+	if err := par.ForEach(len(tasks), func(t int) error {
+		ms, err := l.seriesMOS(pop, tasks[t].clip, tasks[t].inc, tasks[t].offset)
+		if err != nil {
+			return err
 		}
+		series[t] = ms
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ci, clip := range clips {
+		s := series[ci*len(incidents) : (ci+1)*len(incidents)]
 		res.Videos = append(res.Videos, clip.Name)
-		res.Rebuf1Vs4 = append(res.Rebuf1Vs4, stats.Spearman(series[0], series[1]))
-		res.RebufVsDrop = append(res.RebufVsDrop, stats.Spearman(series[0], series[2]))
+		res.Rebuf1Vs4 = append(res.Rebuf1Vs4, stats.Spearman(s[0], s[1]))
+		res.RebufVsDrop = append(res.RebufVsDrop, stats.Spearman(s[0], s[2]))
 	}
 	return res, nil
 }
@@ -276,24 +323,40 @@ func (l *Lab) Fig6() (*Fig6Result, error) {
 	}
 	base := l.TestTraces()[6] // fcc-2.8M, a mid trace like the paper's pick
 	res := &Fig6Result{}
-	for _, scalePct := range []int{20, 40, 60, 80, 100} {
-		tr := base.Scaled(float64(scalePct) / 100)
+	scales := []int{20, 40, 60, 80, 100}
+	type cellQoE struct{ aware, unaware float64 }
+	cells := make([]cellQoE, len(scales)*len(videos))
+	scaled := make([]*trace.Trace, len(scales))
+	for si, scalePct := range scales {
+		scaled[si] = base.Scaled(float64(scalePct) / 100)
+	}
+	// The oracle MPC mutates its predictor's trace clock mid-session, so
+	// each (scale, video) task builds its own oracle pair.
+	if err := par.ForEach(len(cells), func(i int) error {
+		tr := scaled[i/len(videos)]
+		v := videos[i%len(videos)]
+		w := v.TrueSensitivity()
+		ra, err := player.Play(v, tr, abr.NewOracle(tr, true), w, player.Config{})
+		if err != nil {
+			return err
+		}
+		ru, err := player.Play(v, tr, abr.NewOracle(tr, false), nil, player.Config{})
+		if err != nil {
+			return err
+		}
+		cells[i] = cellQoE{aware: mos.TrueQoE(ra.Rendering), unaware: mos.TrueQoE(ru.Rendering)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, scalePct := range scales {
 		var aware, unaware float64
-		for _, v := range videos {
-			w := v.TrueSensitivity()
-			ra, err := player.Play(v, tr, abr.NewOracle(tr, true), w, player.Config{})
-			if err != nil {
-				return nil, err
-			}
-			ru, err := player.Play(v, tr, abr.NewOracle(tr, false), nil, player.Config{})
-			if err != nil {
-				return nil, err
-			}
-			aware += mos.TrueQoE(ra.Rendering)
-			unaware += mos.TrueQoE(ru.Rendering)
+		for vi := range videos {
+			aware += cells[si*len(videos)+vi].aware
+			unaware += cells[si*len(videos)+vi].unaware
 		}
 		res.ScalePct = append(res.ScalePct, scalePct)
-		res.MeanThroughputMbps = append(res.MeanThroughputMbps, tr.Mean()/1e6)
+		res.MeanThroughputMbps = append(res.MeanThroughputMbps, scaled[si].Mean()/1e6)
 		res.AwareQoE = append(res.AwareQoE, aware/float64(len(videos)))
 		res.UnawareQoE = append(res.UnawareQoE, unaware/float64(len(videos)))
 	}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"sensei/internal/abr"
+	"sensei/internal/mos"
+	"sensei/internal/par"
+	"sensei/internal/player"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// BenchmarkLabParallel measures the lab's session fan-out: a small
+// (video, trace, algorithm) matrix of full playback sessions, each rated
+// by the crowd at its positional offset — the inner loop of every
+// end-to-end figure. Serial pins one worker; Parallel uses GOMAXPROCS.
+// Both produce identical numbers (TestLabDeterministicAcrossWorkerCounts);
+// the ratio is the lab speedup on this machine.
+func BenchmarkLabParallel(b *testing.B) {
+	pop, err := mos.NewPopulation(mos.PopulationConfig{Size: 20000, Seed: 0x717, MasterFraction: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	videos := video.TestSet()[:4]
+	traces := trace.TestSet()[:4]
+	fugu := abr.NewFugu()
+	bba := abr.NewBBA()
+	algs := []player.Algorithm{bba, fugu}
+	const raters = 12
+	cells := len(videos) * len(traces) * len(algs)
+
+	matrix := func(workers int) ([]float64, error) {
+		out := make([]float64, cells)
+		err := par.ForEachN(cells, workers, func(i int) error {
+			v := videos[i/(len(traces)*len(algs))]
+			tr := traces[i/len(algs)%len(traces)]
+			res, err := player.Play(v, tr, algs[i%len(algs)], nil, player.Config{})
+			if err != nil {
+				return err
+			}
+			m, _, err := mos.CollectMOS(pop, res.Rendering, raters, i*raters)
+			if err != nil {
+				return err
+			}
+			out[i] = m
+			return nil
+		})
+		return out, err
+	}
+
+	run := func(b *testing.B, workers int) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := matrix(workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Serial", func(b *testing.B) { run(b, 1) })
+	b.Run("Parallel", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
+}

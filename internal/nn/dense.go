@@ -149,16 +149,44 @@ func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
 
 // Forward runs the network and returns the output activations. The returned
 // slice is owned by the MLP and overwritten by the next call; callers that
-// retain it must copy.
+// retain it must copy. Forward uses the MLP's internal scratch and is NOT
+// safe for concurrent use — concurrent inference over a shared trained
+// network must go through ForwardWith with per-goroutine scratch.
 func (m *MLP) Forward(x []float64) []float64 {
+	return m.forwardInto(m.acts, x)
+}
+
+// Scratch holds per-goroutine activation buffers for concurrent inference.
+type Scratch struct {
+	acts [][]float64
+}
+
+// NewScratch returns activation buffers shaped for this network.
+func (m *MLP) NewScratch() *Scratch {
+	s := &Scratch{acts: make([][]float64, len(m.sizes))}
+	for i, size := range m.sizes {
+		s.acts[i] = make([]float64, size)
+	}
+	return s
+}
+
+// ForwardWith runs the network through caller-owned scratch, so any number
+// of goroutines can share one trained MLP (weights are read-only here).
+// The returned slice is owned by the scratch and overwritten by its next
+// use.
+func (m *MLP) ForwardWith(s *Scratch, x []float64) []float64 {
+	return m.forwardInto(s.acts, x)
+}
+
+func (m *MLP) forwardInto(acts [][]float64, x []float64) []float64 {
 	if len(x) != m.sizes[0] {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.sizes[0]))
 	}
-	copy(m.acts[0], x)
+	copy(acts[0], x)
 	for i, l := range m.layers {
-		l.forward(m.acts[i], m.acts[i+1])
+		l.forward(acts[i], acts[i+1])
 	}
-	return m.acts[len(m.acts)-1]
+	return acts[len(acts)-1]
 }
 
 // Backward accumulates gradients for one example given dLoss/dOutput. It

@@ -1,0 +1,87 @@
+// Package par is the bounded-parallelism substrate of the experiment lab:
+// a deterministic fork-join loop over an index space.
+//
+// The determinism contract used throughout SENSEI is that parallel code
+// must produce bit-identical results regardless of worker count, machine,
+// or scheduling. ForEach supports that discipline rather than enforcing
+// it; callers uphold it by following three rules:
+//
+//  1. Task i writes only to slot i of pre-sized result slices — never to
+//     shared accumulators — and any floating-point reduction happens
+//     sequentially, in index order, after ForEach returns (float addition
+//     is not associative, so reduction order must be fixed).
+//  2. Randomness comes from per-task seeds derived from the task index
+//     (or from precomputed rater offsets), never from a shared stream or
+//     a per-worker state: workers steal indices dynamically, so anything
+//     keyed by worker identity or arrival order is nondeterministic.
+//  3. Shared inputs (populations, videos, traces, trained models) are
+//     read-only for the duration of the loop.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning the indices across up
+// to GOMAXPROCS goroutines, and waits for all of them. On failure the
+// remaining tasks are skipped and the lowest-indexed recorded error is
+// returned. ForEach itself is safe for nested and concurrent use; n <= 1
+// runs inline.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachN is ForEach with an explicit worker bound, used by benchmarks to
+// compare serial and parallel execution of the same loop.
+func ForEachN(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// After a failure, drain remaining indices without running
+				// them: the loop's result is already an error, and callers
+				// expect fail-fast behaviour from long fan-outs.
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		if err := ForEach(n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNWorkerCounts(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 3, 16, 200} {
+		out := make([]int, n)
+		if err := ForEachN(n, workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Whatever the scheduling, the reported error must be the lowest-index
+	// one so error propagation is deterministic.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(50, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("error swallowed")
+		}
+		// Index 31 may be skipped by fail-fast draining, but if both ran,
+		// index 7 must win.
+		if got := err.Error(); got != "task 7 failed" && got != "task 31 failed" {
+			t.Fatalf("unexpected error %q", got)
+		}
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	const outer, inner = 8, 8
+	var count atomic.Int32
+	err := ForEach(outer, func(i int) error {
+		return ForEach(inner, func(j int) error {
+			count.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != outer*inner {
+		t.Fatalf("ran %d tasks, want %d", count.Load(), outer*inner)
+	}
+}

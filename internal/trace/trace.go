@@ -125,30 +125,41 @@ func (c *Cursor) Advance(dt float64) {
 	}
 }
 
+// DownloadEnd returns the trace-clock time at which a transfer of bits
+// starting at startSec completes. It is a pure function — the stateless
+// core of Cursor.Download — so planners that explore many futures from a
+// shared prefix (the MPC tree search) can evaluate downloads without
+// allocating a cursor per candidate plan. Transfers spanning bucket
+// boundaries consume each bucket's capacity proportionally.
+func (t *Trace) DownloadEnd(startSec, bits float64) float64 {
+	now := startSec
+	remaining := bits
+	for remaining > 1e-9 {
+		rate := t.At(now)
+		// Time left in the current 1-second bucket.
+		bucketEnd := math.Floor(now/BucketSeconds)*BucketSeconds + BucketSeconds
+		avail := bucketEnd - now
+		capacity := rate * avail
+		if capacity >= remaining {
+			now += remaining / rate
+			remaining = 0
+		} else {
+			remaining -= capacity
+			now = bucketEnd
+		}
+	}
+	return now
+}
+
 // Download consumes bits from the trace starting at the current time and
 // returns the wall-clock seconds the transfer took. The cursor advances to
-// the completion time. Transfers spanning bucket boundaries consume each
-// bucket's capacity proportionally.
+// the completion time.
 func (c *Cursor) Download(bits float64) float64 {
 	if bits <= 0 {
 		return 0
 	}
 	start := c.now
-	remaining := bits
-	for remaining > 1e-9 {
-		rate := c.trace.At(c.now)
-		// Time left in the current 1-second bucket.
-		bucketEnd := math.Floor(c.now/BucketSeconds)*BucketSeconds + BucketSeconds
-		avail := bucketEnd - c.now
-		capacity := rate * avail
-		if capacity >= remaining {
-			c.now += remaining / rate
-			remaining = 0
-		} else {
-			remaining -= capacity
-			c.now = bucketEnd
-		}
-	}
+	c.now = c.trace.DownloadEnd(start, bits)
 	return c.now - start
 }
 

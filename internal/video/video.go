@@ -120,15 +120,23 @@ func (v *Video) ChunkSizeBits(i, r int) float64 {
 // package, which plays the role of real users, does).
 func (v *Video) TrueSensitivity() []float64 {
 	if v.sensitivity == nil {
-		w := make([]float64, len(v.Chunks))
-		for i, c := range v.Chunks {
-			// The floor keeps every chunk mattering at least somewhat; the
-			// slope creates the 40-120% max-min QoE gaps observed in Fig 3.
-			w[i] = 0.45 + 1.35*c.Attention
-		}
-		v.sensitivity = w
+		// Hand-assembled videos fill the cache on first use; Generate and
+		// Excerpt precompute it so the concurrent readers of the parallel
+		// experiment lab never write.
+		v.computeSensitivity()
 	}
 	return v.sensitivity
+}
+
+// computeSensitivity fills the sensitivity cache from the attention model.
+func (v *Video) computeSensitivity() {
+	w := make([]float64, len(v.Chunks))
+	for i, c := range v.Chunks {
+		// The floor keeps every chunk mattering at least somewhat; the
+		// slope creates the 40-120% max-min QoE gaps observed in Fig 3.
+		w[i] = 0.45 + 1.35*c.Attention
+	}
+	v.sensitivity = w
 }
 
 // Excerpt returns a new Video covering chunks [from, to). The content model
@@ -147,6 +155,7 @@ func (v *Video) Excerpt(from, to int) (*Video, error) {
 	for i := range out.Chunks {
 		out.Chunks[i].Index = i
 	}
+	out.computeSensitivity()
 	return out, nil
 }
 
@@ -222,6 +231,7 @@ func Generate(spec Spec) *Video {
 	}
 	v := &Video{Name: spec.Name, Genre: spec.Genre, Ladder: DefaultLadder, Chunks: chunks}
 	fillSizes(v, rng.Fork())
+	v.computeSensitivity()
 	return v
 }
 
