@@ -1,72 +1,149 @@
-// Command dashserver serves a catalog video over HTTP with trace-shaped
-// egress and a SENSEI-extended DASH manifest (§6). Pair it with dashclient.
+// Command dashserver runs the multi-tenant DASH origin (§6 scaled up):
+// one process serves the whole catalog with SENSEI-extended manifests,
+// per-session trace-shaped egress and a session control plane. Pair it
+// with one or more dashclient instances.
+//
+// Sensitivity weights are profiled lazily — at most once per video, on the
+// first manifest request — and persisted under -weightdir so a restarted
+// origin starts instantly.
 //
 // Usage:
 //
-//	dashserver [-addr 127.0.0.1:8428] [-video Soccer1] [-mbps 2.5]
-//	           [-timescale 0.01] [-profile] [-pop 20000]
+//	dashserver [-addr 127.0.0.1:8428] [-videos all|Name1,Name2] [-excerpt N]
+//	           [-timescale 0.01] [-profile] [-pop 20000] [-weightdir weights]
+//	           [-idle 2m]
+//
+// Endpoints: POST /session, GET /v/<video>/manifest.mpd,
+// GET /v/<video>/segment/<chunk>/<rung>?sid=..., DELETE /session/<id>,
+// GET /stats.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"sensei"
 )
 
+// offeredTraces builds the named trace menu sessions choose from: the
+// 10-trace §7 evaluation set plus two easy-to-type defaults.
+func offeredTraces() (map[string]*sensei.Trace, string) {
+	traces := map[string]*sensei.Trace{}
+	for _, tr := range sensei.EvaluationTraces() {
+		traces[tr.Name] = tr
+	}
+	traces["fcc-2.5"] = sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "fcc-2.5", Kind: sensei.TraceFCC, MeanBps: 2.5e6, Seconds: 1800, Seed: 0xd1,
+	})
+	traces["hsdpa-1.2"] = sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "hsdpa-1.2", Kind: sensei.TraceHSDPA, MeanBps: 1.2e6, Seconds: 1800, Seed: 0xd2,
+	})
+	return traces, "fcc-2.5"
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8428", "listen address")
-	name := flag.String("video", "Soccer1", "catalog video name")
-	mbps := flag.Float64("mbps", 2.5, "mean bottleneck throughput in Mbps")
-	timescale := flag.Float64("timescale", 0.01, "wall-clock compression (0.01 = 100x faster)")
-	profile := flag.Bool("profile", true, "profile the video and embed weights in the manifest")
+	videos := flag.String("videos", "all", `catalog: "all" or comma-separated Table 1 names`)
+	excerpt := flag.Int("excerpt", 0, "serve only the first N chunks of each video (0 = full)")
+	timescale := flag.Float64("timescale", 0.01, "default session wall-clock compression (0.01 = 100x faster)")
+	profile := flag.Bool("profile", true, "profile videos lazily and embed weights in manifests")
 	popSize := flag.Int("pop", 20000, "rater population size for profiling")
+	weightDir := flag.String("weightdir", "weights", "directory persisting profiled weights (\"\" = memory only)")
+	idle := flag.Duration("idle", 2*time.Minute, "idle session expiry")
 	flag.Parse()
 
-	v, err := sensei.VideoByName(*name)
-	if err != nil {
-		fail(err)
+	var catalog []*sensei.Video
+	if *videos == "all" {
+		catalog = sensei.VideoCatalog()
+	} else {
+		for _, name := range strings.Split(*videos, ",") {
+			v, err := sensei.VideoByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			catalog = append(catalog, v)
+		}
 	}
-	var weights []float64
+	if *excerpt > 0 {
+		for i, v := range catalog {
+			n := *excerpt
+			if n > v.NumChunks() {
+				n = v.NumChunks()
+			}
+			clip, err := v.Excerpt(0, n)
+			if err != nil {
+				fail(err)
+			}
+			catalog[i] = clip
+		}
+	}
+
+	var profileFn sensei.DASHProfileFunc
 	if *profile {
 		pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: *popSize, Seed: 0x717})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("profiling %s (%d chunks)...\n", v.Name, v.NumChunks())
-		p, err := sensei.NewProfiler(pop).Profile(v)
-		if err != nil {
-			fail(err)
+		profiler := sensei.NewProfiler(pop)
+		profileFn = func(v *sensei.Video) ([]float64, error) {
+			start := time.Now()
+			fmt.Printf("profiling %s (%d chunks)...\n", v.Name, v.NumChunks())
+			p, err := profiler.Profile(v)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("profiled %s in %.1fs: $%.1f/min, %d participants\n",
+				v.Name, time.Since(start).Seconds(), p.CostPerMinuteUSD, p.Participants)
+			return p.Weights, nil
 		}
-		weights = p.Weights
-		fmt.Printf("profiled: $%.1f/min, %d participants\n", p.CostPerMinuteUSD, p.Participants)
 	}
 
-	tr := sensei.GenerateTrace(sensei.TraceSpec{
-		Name: "bottleneck", Kind: sensei.TraceHSDPA, MeanBps: *mbps * 1e6, Seconds: 1800, Seed: 0xd1,
+	traces, defaultTrace := offeredTraces()
+	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
+		Catalog:            catalog,
+		Profile:            profileFn,
+		WeightDir:          *weightDir,
+		Traces:             traces,
+		DefaultTrace:       defaultTrace,
+		TimeScale:          *timescale,
+		SessionIdleTimeout: *idle,
+		Logf:               log.Printf,
 	})
-	shaper, err := sensei.NewDASHShaper(tr, *timescale)
 	if err != nil {
 		fail(err)
 	}
-	srv, err := sensei.NewDASHServer(v, weights, shaper)
-	if err != nil {
-		fail(err)
-	}
+	srv := sensei.NewDASHServer(o)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("serving %s at http://%s (manifest: /manifest.mpd, segments: /segment/<chunk>/<rung>)\n", v.Name, bound)
-	fmt.Printf("bottleneck: %.1f Mbps mean, timescale %.3f\n", *mbps, *timescale)
+	fmt.Printf("origin at http://%s serving %d videos (timescale %.3f, default trace %s)\n",
+		bound, len(catalog), *timescale, defaultTrace)
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	fmt.Printf("traces on offer: %s\n", strings.Join(names, ", "))
+	fmt.Println("join: POST /session {\"video\":..., \"trace\":...}; stats: GET /stats")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop
-	fmt.Println("shutting down")
-	_ = srv.Close()
+	fmt.Println("draining sessions...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dashserver: shutdown:", err)
+	}
+	out, _ := json.MarshalIndent(o.Stats(), "", "  ")
+	fmt.Printf("final stats:\n%s\n", out)
 }
 
 func fail(err error) {

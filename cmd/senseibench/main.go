@@ -24,6 +24,7 @@ import (
 
 	"sensei/internal/abr"
 	"sensei/internal/experiments"
+	"sensei/internal/origin"
 	"sensei/internal/player"
 	"sensei/internal/video"
 )
@@ -37,6 +38,7 @@ type benchReport struct {
 	GoVersion      string             `json:"go_version"`
 	GOMAXPROCS     int                `json:"gomaxprocs"`
 	Planner        plannerBench       `json:"planner"`
+	Origin         originBench        `json:"origin"`
 	ExperimentSec  map[string]float64 `json:"experiment_sec"`
 	TotalSec       float64            `json:"total_sec"`
 	ExperimentList []string           `json:"experiment_list"`
@@ -81,6 +83,36 @@ func plannerMicroBench() plannerBench {
 	}
 	out.Speedup = out.BruteNsPerDecision / out.TreeNsPerDecision
 	return out
+}
+
+// originBench measures the multi-tenant origin's segment hot path over
+// real TCP with shaping effectively disabled (a near-infinite-rate
+// trace): routing, session lookup and the shared-pattern streaming loop.
+type originBench struct {
+	SegmentsPerSec float64 `json:"segments_per_sec"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+}
+
+// originMicroBench serves one session a top-rung segment in a tight loop
+// via the harness shared with BenchmarkOriginSegment.
+func originMicroBench() (originBench, error) {
+	h, err := origin.NewSegmentBenchHarness()
+	if err != nil {
+		return originBench{}, err
+	}
+	defer h.Close()
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := h.Fetch(); err != nil {
+			return originBench{}, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return originBench{
+		SegmentsPerSec: iters / elapsed,
+		MBPerSec:       float64(iters) * float64(h.SegmentBytes) / 1e6 / elapsed,
+	}, nil
 }
 
 func main() {
@@ -160,6 +192,12 @@ func main() {
 
 	if *benchJSON != "" {
 		report.Planner = plannerMicroBench()
+		ob, err := originMicroBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: origin bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Origin = ob
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "senseibench: %v\n", err)
@@ -175,7 +213,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "senseibench: closing %s: %v\n", *benchJSON, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[perf baseline written to %s: planner %.0fx, total %.1fs]\n",
-			*benchJSON, report.Planner.Speedup, report.TotalSec)
+		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, total %.1fs]\n",
+			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.TotalSec)
 	}
 }

@@ -1,75 +1,145 @@
-// Dashstream: the §6 integration demo end to end over real TCP — a DASH
-// server with trace-shaped egress and a weight-extended manifest, and a
-// client that parses the SenseiWeights extension and drives SENSEI's ABR
-// with an MSE-style delayed buffer sink.
+// Dashstream: the §6 integration demo scaled to a multi-tenant origin —
+// one process serves a two-video catalog over real TCP, sensitivity
+// weights are profiled lazily (once per video, persisted to disk) and
+// delivered via the SenseiWeights manifest extension, and two clients
+// stream concurrently in sessions shaped by different traces, proving
+// per-session bottleneck isolation.
 //
 //	go run ./examples/dashstream
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"sync"
+	"time"
 
 	"sensei"
 )
 
 func main() {
-	full, err := sensei.VideoByName("BigBuckBunny")
-	if err != nil {
-		log.Fatal(err)
-	}
-	// A two-minute excerpt keeps the demo snappy at timescale 0.005.
-	v, err := full.Excerpt(0, 30)
-	if err != nil {
-		log.Fatal(err)
+	// A compact two-video catalog keeps the demo snappy.
+	catalog := make([]*sensei.Video, 0, 2)
+	for _, cut := range []struct {
+		name   string
+		chunks int
+	}{{"BigBuckBunny", 30}, {"Soccer1", 30}} {
+		full, err := sensei.VideoByName(cut.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := full.Excerpt(0, cut.chunks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalog = append(catalog, v)
 	}
 
+	// Weights come from the real §4 crowdsourced pipeline, invoked lazily
+	// by the origin on each video's first manifest request — never twice,
+	// however many clients race — and persisted so a rerun of this demo
+	// skips the campaign entirely.
 	pop, err := sensei.NewPopulation(sensei.PopulationConfig{Size: 30000, Seed: 17})
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, err := sensei.NewProfiler(pop).Profile(v)
+	profiler := sensei.NewProfiler(pop)
+	weightDir, err := os.MkdirTemp("", "sensei-weights-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("profiled %s: $%.1f/min\n", v.Name, profile.CostPerMinuteUSD)
+	defer os.RemoveAll(weightDir)
 
 	const timescale = 0.005 // 200x faster than real time
-	tr := sensei.GenerateTrace(sensei.TraceSpec{
-		Name: "isp", Kind: sensei.TraceFCC, MeanBps: 1.8e6, Seconds: 900, Seed: 51,
+	traces := map[string]*sensei.Trace{
+		"broadband": sensei.GenerateTrace(sensei.TraceSpec{
+			Name: "broadband", Kind: sensei.TraceFCC, MeanBps: 4e6, Seconds: 900, Seed: 51,
+		}),
+		"commute": sensei.GenerateTrace(sensei.TraceSpec{
+			Name: "commute", Kind: sensei.TraceHSDPA, MeanBps: 1.2e6, Seconds: 900, Seed: 52,
+		}),
+	}
+	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
+		Catalog: catalog,
+		Profile: func(v *sensei.Video) ([]float64, error) {
+			fmt.Printf("profiling %s...\n", v.Name)
+			p, err := profiler.Profile(v)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("profiled %s: $%.1f/min\n", v.Name, p.CostPerMinuteUSD)
+			return p.Weights, nil
+		},
+		WeightDir:    weightDir,
+		Traces:       traces,
+		DefaultTrace: "broadband",
+		TimeScale:    timescale,
 	})
-	shaper, err := sensei.NewDASHShaper(tr, timescale)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := sensei.NewDASHServer(v, profile.Weights, shaper)
-	if err != nil {
-		log.Fatal(err)
-	}
+	srv := sensei.NewDASHServer(o)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	fmt.Printf("server on http://%s, bottleneck %.1f Mbps (timescale %.3f)\n", addr, tr.Mean()/1e6, timescale)
+	fmt.Printf("origin on http://%s: %d videos, traces broadband (4 Mbps) and commute (1.2 Mbps)\n",
+		addr, len(catalog))
 
-	client := &sensei.DASHClient{
-		BaseURL:   "http://" + addr,
-		Algorithm: sensei.NewSenseiFugu(),
-		TimeScale: timescale,
+	// Two tenants stream at the same time: same origin, different videos,
+	// different bottlenecks.
+	type tenant struct {
+		video *sensei.Video
+		trace string
 	}
-	sess, err := client.Stream(v)
-	if err != nil {
+	tenants := []tenant{
+		{catalog[0], "broadband"},
+		{catalog[1], "commute"},
+	}
+	sessions := make([]*sensei.DASHSession, len(tenants))
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, tn tenant) {
+			defer wg.Done()
+			client := &sensei.DASHClient{
+				BaseURL:   "http://" + addr,
+				Algorithm: sensei.NewSenseiFugu(),
+				Trace:     tn.trace,
+			}
+			sess, err := client.Stream(context.Background(), tn.video)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sessions[i] = sess
+		}(i, tn)
+	}
+	wg.Wait()
+
+	for i, sess := range sessions {
+		tn := tenants[i]
+		if sess.Weights == nil {
+			log.Fatal("manifest weights did not survive the round trip")
+		}
+		fmt.Printf("%-14s on %-9s: %.1f MB, %.2f Mbps observed, %.1f virtual s rebuffering, weighted QoE %.3f, true QoE %.3f\n",
+			tn.video.Name, tn.trace,
+			float64(sess.BytesDownloaded)/1e6,
+			float64(sess.BytesDownloaded)*8/sess.DownloadVirtualSec/1e6,
+			sess.RebufferVirtualSec,
+			sensei.WeightedSessionQoE(sess.Rendering, sess.Weights),
+			sensei.TrueQoE(sess.Rendering))
+	}
+
+	st := o.Stats()
+	fmt.Printf("origin stats: %d sessions, %.1f MB served, %d segments, %d profiles computed\n",
+		st.SessionsCreated, float64(st.BytesServed)/1e6, st.SegmentsServed, st.ProfilesComputed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("streamed %d chunks over TCP: %.1f MB, %.1f virtual seconds rebuffering\n",
-		v.NumChunks(), float64(sess.BytesDownloaded)/1e6, sess.RebufferVirtualSec)
-	if sess.Weights == nil {
-		log.Fatal("manifest weights did not survive the round trip")
-	}
-	fmt.Printf("manifest delivered %d weights; weighted QoE %.3f, true QoE %.3f\n",
-		len(sess.Weights),
-		sensei.WeightedSessionQoE(sess.Rendering, sess.Weights),
-		sensei.TrueQoE(sess.Rendering))
+	fmt.Println("origin drained cleanly")
 }

@@ -27,6 +27,12 @@ type profileJSON struct {
 // profileVersion guards against incompatible future layouts.
 const profileVersion = 1
 
+// ValidWeight reports whether w is a plausible per-chunk sensitivity
+// weight. Every persistence codec (the profile store here, the origin's
+// per-video weight cache) enforces this same contract, so a change to the
+// valid range happens in exactly one place.
+func ValidWeight(w float64) bool { return w > 0 && w <= 10 }
+
 // WriteTo serializes the profile as JSON.
 func (p *Profile) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -64,7 +70,7 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 		return nil, fmt.Errorf("crowd: profile for %q has no weights", pj.VideoName)
 	}
 	for i, w := range pj.Weights {
-		if w <= 0 || w > 10 {
+		if !ValidWeight(w) {
 			return nil, fmt.Errorf("crowd: profile weight %d is %v", i, w)
 		}
 	}
@@ -109,7 +115,7 @@ func ReadWeightLibrary(r io.Reader) (*WeightLibrary, error) {
 			return nil, fmt.Errorf("crowd: library entry %q empty", name)
 		}
 		for i, w := range ws {
-			if w <= 0 || w > 10 {
+			if !ValidWeight(w) {
 				return nil, fmt.Errorf("crowd: library entry %q weight %d is %v", name, i, w)
 			}
 		}

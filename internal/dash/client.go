@@ -1,9 +1,13 @@
 package dash
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"sensei/internal/player"
@@ -11,28 +15,55 @@ import (
 	"sensei/internal/video"
 )
 
-// Client streams a video from a Server, driving a player.Algorithm exactly
-// like the simulator does but over real TCP with wall-clock timing. It
-// implements §6's two integration points: parsing the SenseiWeights
-// manifest extension, and the MSE-style delayed source-buffer sink that
-// realizes proactive rebuffering by withholding a downloaded segment from
-// the playback buffer for a controlled delay.
+// DefaultRequestTimeout bounds each HTTP request the client issues when
+// Client.RequestTimeout is zero. It is generous because a request can
+// legitimately be slow end to end: the first manifest request to a cold
+// origin triggers lazy profiling, and segment bodies arrive trace-shaped
+// (a deep-fade trace at timescale 1 can hold a segment for minutes).
+// Sessions running near real time should raise RequestTimeout or disable
+// it with a negative value.
+const DefaultRequestTimeout = 5 * time.Minute
+
+// Client streams a video from a multi-tenant origin, driving a
+// player.Algorithm exactly like the simulator does but over real TCP with
+// wall-clock timing. It implements §6's two integration points: parsing
+// the SenseiWeights manifest extension, and the MSE-style delayed
+// source-buffer sink that realizes proactive rebuffering by withholding a
+// downloaded segment from the playback buffer for a controlled delay.
+//
+// A client first joins a session (POST /session) — explicitly via Join, or
+// implicitly on the first Stream — and every subsequent segment request
+// carries the session ID so the origin shapes it with the session's own
+// trace cursor.
 type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:4123".
+	// BaseURL is the origin root, e.g. "http://127.0.0.1:4123".
 	BaseURL string
 	// Algorithm is the ABR logic to drive.
 	Algorithm player.Algorithm
-	// TimeScale must match the server shaper's compression so buffer
-	// arithmetic happens in virtual seconds.
+	// Trace optionally names the origin-side trace the session replays;
+	// empty selects the origin's default.
+	Trace string
+	// TimeScale must match the session's compression so buffer arithmetic
+	// happens in virtual seconds. Zero adopts the timescale the origin
+	// reports when the session is joined.
 	TimeScale float64
 	// HTTP is the client used for requests; http.DefaultClient when nil.
 	HTTP *http.Client
 	// MaxBufferSec caps the client buffer (default 60 virtual seconds).
 	MaxBufferSec float64
+	// RequestTimeout bounds each HTTP request (default
+	// DefaultRequestTimeout; negative disables the timeout).
+	RequestTimeout time.Duration
+
+	sid          string
+	videoName    string
+	sessionScale float64
 }
 
 // Session is the outcome of one streamed playback.
 type Session struct {
+	// ID is the origin-assigned session identifier.
+	ID string
 	// Rendering describes what was delivered, ready for QoE models.
 	Rendering *qoe.Rendering
 	// Weights are the manifest-carried sensitivity weights (nil if the
@@ -40,16 +71,117 @@ type Session struct {
 	Weights []float64
 	// RebufferVirtualSec is stalled playback in virtual seconds.
 	RebufferVirtualSec float64
+	// DownloadVirtualSec is time spent downloading segments, in virtual
+	// seconds; BytesDownloaded*8/DownloadVirtualSec is the session's mean
+	// observed throughput.
+	DownloadVirtualSec float64
 	// BytesDownloaded counts segment payload traffic.
 	BytesDownloaded int64
 }
 
-// Stream plays the whole video for v and returns the session.
-func (c *Client) Stream(v *video.Video) (*Session, error) {
+// joinRequest and joinResponse mirror the origin's POST /session wire
+// format (see internal/origin).
+type joinRequest struct {
+	Video     string  `json:"video"`
+	Trace     string  `json:"trace,omitempty"`
+	TimeScale float64 `json:"timescale,omitempty"`
+}
+
+type joinResponse struct {
+	SessionID string  `json:"session_id"`
+	Video     string  `json:"video"`
+	Trace     string  `json:"trace"`
+	TimeScale float64 `json:"timescale"`
+}
+
+// SessionID returns the joined session's ID ("" before Join).
+func (c *Client) SessionID() string { return c.sid }
+
+// Join creates a session on the origin for the named catalog video. It is
+// called implicitly by Stream when the client has no session yet.
+func (c *Client) Join(ctx context.Context, videoName string) error {
+	body, err := json.Marshal(joinRequest{Video: videoName, Trace: c.Trace, TimeScale: c.TimeScale})
+	if err != nil {
+		return fmt.Errorf("dash: encoding join request: %w", err)
+	}
+	reqCtx, cancel := c.requestContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/session", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dash: join request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return fmt.Errorf("dash: joining session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dash: joining session: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var jr joinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return fmt.Errorf("dash: decoding join response: %w", err)
+	}
+	if jr.SessionID == "" || jr.TimeScale <= 0 {
+		return fmt.Errorf("dash: origin returned invalid session %+v", jr)
+	}
+	c.sid = jr.SessionID
+	c.videoName = jr.Video
+	c.sessionScale = jr.TimeScale
+	return nil
+}
+
+// Leave deletes the client's session on the origin, freeing it before the
+// idle-expiry janitor would.
+func (c *Client) Leave(ctx context.Context) error {
+	if c.sid == "" {
+		return nil
+	}
+	reqCtx, cancel := c.requestContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodDelete, c.BaseURL+"/session/"+url.PathEscape(c.sid), nil)
+	if err != nil {
+		return fmt.Errorf("dash: leave request: %w", err)
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return fmt.Errorf("dash: leaving session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("dash: leaving session: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	c.sid = ""
+	return nil
+}
+
+// Stream plays the whole video for v within the client's session and
+// returns the playback outcome. ctx cancels the stream between (and
+// during) segment downloads.
+func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	if c.Algorithm == nil {
 		return nil, fmt.Errorf("dash: client needs an algorithm")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.sid == "" {
+		if err := c.Join(ctx, v.Name); err != nil {
+			return nil, err
+		}
+	}
+	// The origin pins segments to the session's video; fail with a clear
+	// client-side error instead of its 409.
+	if c.videoName != v.Name {
+		return nil, fmt.Errorf("dash: session joined for %q, cannot stream %q", c.videoName, v.Name)
+	}
 	scale := c.TimeScale
+	if scale <= 0 {
+		scale = c.sessionScale
+	}
 	if scale <= 0 {
 		scale = 1
 	}
@@ -57,17 +189,18 @@ func (c *Client) Stream(v *video.Video) (*Session, error) {
 	if maxBuf <= 0 {
 		maxBuf = 60
 	}
-	httpc := c.HTTP
-	if httpc == nil {
-		httpc = http.DefaultClient
-	}
 
-	mpdBody, err := c.get(httpc, "/manifest.mpd")
+	mpdBody, err := c.get(ctx, c.videoPath(v.Name, "manifest.mpd"))
 	if err != nil {
 		return nil, fmt.Errorf("dash: fetching manifest: %w", err)
 	}
 	mpd, err := ParseMPD(mpdBody)
 	if err != nil {
+		return nil, err
+	}
+	// A manifest whose ladder disagrees with the local video model would
+	// silently stream wrong segment sizes; fail loudly instead.
+	if err := validateLadder(v, mpd.Ladder()); err != nil {
 		return nil, err
 	}
 	weights, err := mpd.Weights()
@@ -80,6 +213,7 @@ func (c *Client) Stream(v *video.Video) (*Session, error) {
 
 	n := v.NumChunks()
 	sess := &Session{
+		ID:      c.sid,
 		Weights: weights,
 		Rendering: &qoe.Rendering{
 			Video:    v,
@@ -93,6 +227,9 @@ func (c *Client) Stream(v *video.Video) (*Session, error) {
 	var thr, dls []float64
 
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dash: stream canceled at chunk %d: %w", i, err)
+		}
 		st := &player.State{
 			Video:         v,
 			ChunkIndex:    i,
@@ -122,12 +259,13 @@ func (c *Client) Stream(v *video.Video) (*Session, error) {
 		}
 
 		start := time.Now()
-		body, err := c.get(httpc, fmt.Sprintf("/segment/%d/%d", i, d.Rung))
+		body, err := c.get(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)))
 		if err != nil {
 			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
 		}
 		elapsedVirtual := time.Since(start).Seconds() / scale
 		sess.BytesDownloaded += int64(len(body))
+		sess.DownloadVirtualSec += elapsedVirtual
 
 		if i > 0 {
 			if elapsedVirtual > buffer {
@@ -159,19 +297,67 @@ func (c *Client) Stream(v *video.Video) (*Session, error) {
 	return sess, nil
 }
 
-// get fetches a path and returns the body.
-func (c *Client) get(httpc *http.Client, path string) ([]byte, error) {
-	if httpc == nil {
-		httpc = http.DefaultClient
+// validateLadder checks the manifest ladder against the local video model.
+func validateLadder(v *video.Video, ladder []int) error {
+	if len(ladder) != len(v.Ladder) {
+		return fmt.Errorf("dash: manifest has %d ladder rungs, local video %q has %d", len(ladder), v.Name, len(v.Ladder))
 	}
-	resp, err := httpc.Get(c.BaseURL + path)
+	for i, kbps := range ladder {
+		if kbps != v.Ladder[i] {
+			return fmt.Errorf("dash: manifest rung %d is %d kbps, local video %q has %d", i, kbps, v.Name, v.Ladder[i])
+		}
+	}
+	return nil
+}
+
+// videoPath builds /v/<video>/<rest> with the session ID attached.
+func (c *Client) videoPath(videoName, rest string) string {
+	p := "/v/" + url.PathEscape(videoName) + "/" + rest
+	if c.sid != "" {
+		p += "?sid=" + url.QueryEscape(c.sid)
+	}
+	return p
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// requestContext derives the per-request context with the client's
+// timeout applied.
+func (c *Client) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := c.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	if timeout < 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// get fetches a path and returns the body.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	reqCtx, cancel := c.requestContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc().Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, body)
+		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
 	}
 	return io.ReadAll(resp.Body)
 }

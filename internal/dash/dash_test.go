@@ -5,8 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"sensei/internal/abr"
-	"sensei/internal/player"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -141,125 +139,17 @@ func TestShaperValidates(t *testing.T) {
 	}
 }
 
-// endToEnd spins up a server and streams with the given algorithm. The
-// emulation compresses virtual time 500×; under the race detector the
-// instrumentation cannot keep that schedule, so compression drops to 50×.
-func endToEnd(t *testing.T, alg player.Algorithm, weights []float64, meanBps float64) *Session {
-	t.Helper()
-	scale := 0.002
-	if raceEnabled {
-		scale = 0.02
-	}
+func TestClientValidatesLadder(t *testing.T) {
 	v := testVideo(t)
-	tr := trace.Generate(trace.GenSpec{Name: "e2e", Kind: trace.KindFCC, MeanBps: meanBps, Seconds: 600, Seed: 5})
-	shaper, err := NewShaper(tr, scale)
-	if err != nil {
-		t.Fatal(err)
+	if err := validateLadder(v, v.Ladder); err != nil {
+		t.Fatalf("matching ladder rejected: %v", err)
 	}
-	srv, err := NewServer(v, weights, shaper)
-	if err != nil {
-		t.Fatal(err)
+	if err := validateLadder(v, v.Ladder[:len(v.Ladder)-1]); err == nil {
+		t.Fatal("short ladder accepted")
 	}
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	client := &Client{
-		BaseURL:   "http://" + addr,
-		Algorithm: alg,
-		TimeScale: scale,
-	}
-	sess, err := client.Stream(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return sess
-}
-
-func TestEndToEndStreaming(t *testing.T) {
-	v := testVideo(t)
-	sess := endToEnd(t, abr.NewBBA(), v.TrueSensitivity(), 4e6)
-	if sess.Rendering.Validate() != nil {
-		t.Fatal("invalid rendering")
-	}
-	if sess.BytesDownloaded <= 0 {
-		t.Fatal("no bytes downloaded")
-	}
-	if sess.Weights == nil {
-		t.Fatal("weights did not arrive via manifest")
-	}
-	// Throughput ~4 Mbps: BBA should climb off the bottom rung eventually.
-	var sawAboveBottom bool
-	for _, r := range sess.Rendering.Rungs {
-		if r > 0 {
-			sawAboveBottom = true
-		}
-	}
-	if !sawAboveBottom {
-		t.Fatalf("BBA never climbed: %v", sess.Rendering.Rungs)
-	}
-}
-
-func TestEndToEndWeightsReachAlgorithm(t *testing.T) {
-	v := testVideo(t)
-	rec := &weightRecorder{}
-	endToEnd(t, rec, v.TrueSensitivity(), 4e6)
-	if !rec.sawWeights {
-		t.Fatal("algorithm never saw manifest weights")
-	}
-}
-
-type weightRecorder struct{ sawWeights bool }
-
-func (w *weightRecorder) Name() string { return "recorder" }
-func (w *weightRecorder) Decide(s *player.State) player.Decision {
-	if s.Weights != nil {
-		w.sawWeights = true
-	}
-	return player.Decision{Rung: 0}
-}
-
-func TestEndToEndProactiveStall(t *testing.T) {
-	alg := &stallOnce{}
-	sess := endToEnd(t, alg, nil, 6e6)
-	if sess.Rendering.StallSec[2] < 0.9 {
-		t.Fatalf("proactive stall not delivered: %v", sess.Rendering.StallSec)
-	}
-	if sess.RebufferVirtualSec < 0.9 {
-		t.Fatalf("rebuffer ledger %v", sess.RebufferVirtualSec)
-	}
-}
-
-type stallOnce struct{}
-
-func (stallOnce) Name() string { return "stall-once" }
-func (stallOnce) Decide(s *player.State) player.Decision {
-	if s.ChunkIndex == 2 {
-		return player.Decision{Rung: 0, PreStallSec: 1}
-	}
-	return player.Decision{Rung: 0}
-}
-
-func TestServerRejectsBadSegment(t *testing.T) {
-	v := testVideo(t)
-	tr := &trace.Trace{Name: "f", BitsPerSecond: []float64{1e9}}
-	shaper, err := NewShaper(tr, 0.001)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := NewServer(v, nil, shaper)
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	c := &Client{BaseURL: "http://" + addr}
-	if _, err := c.get(nil, "/segment/999/0"); err == nil {
-		t.Fatal("out-of-range segment accepted")
+	wrong := append([]int(nil), v.Ladder...)
+	wrong[0]++
+	if err := validateLadder(v, wrong); err == nil {
+		t.Fatal("mismatched ladder accepted")
 	}
 }

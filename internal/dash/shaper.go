@@ -1,0 +1,64 @@
+package dash
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sensei/internal/trace"
+)
+
+// Shaper throttles egress to follow a throughput trace. It is the offline
+// stand-in for the paper's Mahimahi-style trace replay: every connection
+// sharing one shaper contends on one bottleneck whose capacity at virtual
+// time t is the trace sample at t. The multi-tenant origin gives each
+// session its own Shaper, so sessions replay independent trace cursors
+// instead of contending on a global one. Virtual time advances TimeScale
+// times faster than wall-clock time, so a 15-minute session can run in
+// seconds without changing any of the throughput arithmetic.
+type Shaper struct {
+	// TimeScale compresses time: virtualSeconds = wallSeconds / TimeScale
+	// ... i.e. sleeping wallSeconds = virtualSeconds * TimeScale. A value
+	// of 0.01 runs sessions 100× faster than real time.
+	TimeScale float64
+
+	mu     sync.Mutex
+	cursor *trace.Cursor
+	epoch  time.Time
+}
+
+// NewShaper starts a shaper replaying tr from virtual time zero.
+func NewShaper(tr *trace.Trace, timeScale float64) (*Shaper, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("dash: shaper: %w", err)
+	}
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &Shaper{
+		TimeScale: timeScale,
+		cursor:    trace.NewCursor(tr),
+		epoch:     time.Now(),
+	}, nil
+}
+
+// VirtualNow returns the current virtual time in seconds.
+func (s *Shaper) VirtualNow() float64 {
+	return time.Since(s.epoch).Seconds() / s.TimeScale
+}
+
+// Throttle accounts for n bytes crossing the bottleneck and returns how
+// long (wall clock) the caller must sleep before the bytes are considered
+// delivered. The shaper's cursor is kept in sync with wall-clock virtual
+// time so idle periods consume trace capacity like a real link.
+func (s *Shaper) Throttle(n int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Sync the cursor forward to "now" if the link has been idle.
+	now := s.VirtualNow()
+	if now > s.cursor.Now() {
+		s.cursor.Advance(now - s.cursor.Now())
+	}
+	virtualSec := s.cursor.Download(float64(n) * 8)
+	return time.Duration(virtualSec * s.TimeScale * float64(time.Second))
+}

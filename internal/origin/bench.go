@@ -1,0 +1,109 @@
+package origin
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// SegmentBenchHarness drives the origin's segment hot path — routing,
+// session lookup and the shared-pattern streaming loop — over real TCP
+// with shaping effectively disabled (a near-infinite-rate trace). It is
+// the single source of truth for the origin micro-benchmark, shared by
+// BenchmarkOriginSegment and cmd/senseibench's -benchjson report so the
+// two always measure the same path.
+type SegmentBenchHarness struct {
+	// SegmentBytes is the size of the segment Fetch transfers.
+	SegmentBytes int64
+
+	srv    *Server
+	segURL string
+}
+
+// NewSegmentBenchHarness starts an origin serving a short catalog excerpt
+// and joins one session for the top ladder rung. Close it when done.
+func NewSegmentBenchHarness() (*SegmentBenchHarness, error) {
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		return nil, err
+	}
+	v, err := full.Excerpt(0, 6)
+	if err != nil {
+		return nil, err
+	}
+	o, err := New(Config{
+		Catalog:      []*video.Video{v},
+		Traces:       map[string]*trace.Trace{"wire": {Name: "wire", BitsPerSecond: []float64{1e15}}},
+		DefaultTrace: "wire",
+		TimeScale:    0.001,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(o)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		o.Close()
+		return nil, err
+	}
+	h := &SegmentBenchHarness{srv: srv}
+
+	join, err := json.Marshal(JoinRequest{Video: v.Name})
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	resp, err := http.Post("http://"+addr+"/session", "application/json", bytes.NewReader(join))
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.Close()
+		return nil, fmt.Errorf("origin: bench join: %s", resp.Status)
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		h.Close()
+		return nil, err
+	}
+	rung := len(v.Ladder) - 1
+	h.segURL = fmt.Sprintf("http://%s/v/%s/segment/0/%d?sid=%s", addr, v.Name, rung, jr.SessionID)
+	h.SegmentBytes = int64(v.ChunkSizeBits(0, rung) / 8)
+
+	// Warm the connection pool and verify the path end to end.
+	if err := h.Fetch(); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Fetch downloads the benchmark segment once, validating status and size.
+func (h *SegmentBenchHarness) Fetch() error {
+	resp, err := http.Get(h.segURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("origin: bench segment: %s", resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return err
+	}
+	if n != h.SegmentBytes {
+		return fmt.Errorf("origin: bench segment %d bytes, want %d", n, h.SegmentBytes)
+	}
+	return nil
+}
+
+// Close shuts the harness's origin down.
+func (h *SegmentBenchHarness) Close() { _ = h.srv.Close() }

@@ -1,0 +1,485 @@
+// Package origin is the multi-tenant DASH streaming origin (§6 of the
+// paper, scaled from the single-video demo to a catalog service). One
+// Origin process serves every catalog video at once and runs a small
+// session control plane:
+//
+//   - POST /session                       — join: pick a video, optionally a
+//     named trace and timescale; returns a session ID
+//   - GET  /v/{video}/manifest.mpd        — SENSEI-extended manifest; weights
+//     are computed lazily, at most once per video (WeightStore singleflight),
+//     and persisted so restarts are instant
+//   - GET  /v/{video}/segment/{chunk}/{rung}?sid=... — synthetic segment
+//     bytes shaped by the *session's own* trace cursor
+//   - DELETE /session/{id}               — leave
+//   - GET  /stats                        — active sessions, bytes served,
+//     per-video hit counts
+//
+// Each session owns a dash.Shaper replaying its own trace from its own
+// epoch, so concurrent sessions observe independent bottlenecks — the
+// substrate per-user QoE personalization builds on — instead of contending
+// on one global cursor. Idle sessions are reaped by a janitor. Server
+// wraps an Origin with a drained, context-based graceful shutdown.
+package origin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sensei/internal/dash"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// DefaultSessionIdleTimeout reaps sessions that stop issuing requests.
+const DefaultSessionIdleTimeout = 2 * time.Minute
+
+// DefaultMaxSessions caps concurrently registered sessions.
+const DefaultMaxSessions = 4096
+
+// Config assembles an Origin.
+type Config struct {
+	// Catalog is the set of videos this origin serves, keyed by Video.Name
+	// in requests.
+	Catalog []*video.Video
+	// Profile computes sensitivity weights for a video on first manifest
+	// request; nil serves legacy manifests without weights.
+	Profile ProfileFunc
+	// WeightDir, when non-empty, persists computed weights on disk so they
+	// survive a process restart.
+	WeightDir string
+	// Traces are the named throughput traces sessions can choose from.
+	// At least one is required.
+	Traces map[string]*trace.Trace
+	// DefaultTrace names the trace used when a session request does not
+	// pick one; it must be a key of Traces.
+	DefaultTrace string
+	// TimeScale is the default wall-clock compression for sessions that do
+	// not request one (default 1 = real time).
+	TimeScale float64
+	// SessionIdleTimeout reaps sessions with no requests for this long
+	// (default DefaultSessionIdleTimeout).
+	SessionIdleTimeout time.Duration
+	// MaxSessions bounds the registry (default DefaultMaxSessions);
+	// joins beyond it get 503.
+	MaxSessions int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Origin is the multi-tenant origin: catalog, weight store, session
+// registry and HTTP handler.
+type Origin struct {
+	cfg    Config
+	videos map[string]*video.Video
+	store  *WeightStore
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	sessionsCreated atomic.Int64
+	sessionsClosed  atomic.Int64
+	sessionsExpired atomic.Int64
+	bytesServed     atomic.Int64
+	segmentsServed  atomic.Int64
+	manifestsServed atomic.Int64
+	videoHits       sync.Map // video name -> *atomic.Int64 (segment hits)
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New validates cfg and builds the origin, starting the idle janitor.
+// Callers must Close it (Server.Shutdown does).
+func New(cfg Config) (*Origin, error) {
+	if len(cfg.Catalog) == 0 {
+		return nil, fmt.Errorf("origin: empty catalog")
+	}
+	if len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("origin: no traces configured")
+	}
+	if cfg.DefaultTrace == "" {
+		return nil, fmt.Errorf("origin: no default trace configured")
+	}
+	if _, ok := cfg.Traces[cfg.DefaultTrace]; !ok {
+		return nil, fmt.Errorf("origin: default trace %q not in trace set", cfg.DefaultTrace)
+	}
+	for name, tr := range cfg.Traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("origin: trace %q: %w", name, err)
+		}
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.SessionIdleTimeout <= 0 {
+		cfg.SessionIdleTimeout = DefaultSessionIdleTimeout
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	videos := make(map[string]*video.Video, len(cfg.Catalog))
+	for _, v := range cfg.Catalog {
+		if v == nil || v.Name == "" {
+			return nil, fmt.Errorf("origin: catalog contains an unnamed video")
+		}
+		if _, dup := videos[v.Name]; dup {
+			return nil, fmt.Errorf("origin: duplicate catalog video %q", v.Name)
+		}
+		videos[v.Name] = v
+	}
+	o := &Origin{
+		cfg:      cfg,
+		videos:   videos,
+		store:    NewWeightStore(cfg.WeightDir, cfg.Profile, cfg.Logf),
+		sessions: map[string]*session{},
+		done:     make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /session", o.handleJoin)
+	mux.HandleFunc("DELETE /session/{id}", o.handleLeave)
+	mux.HandleFunc("GET /v/{video}/manifest.mpd", o.handleManifest)
+	mux.HandleFunc("GET /v/{video}/segment/{chunk}/{rung}", o.handleSegment)
+	mux.HandleFunc("GET /stats", o.handleStats)
+	o.mux = mux
+
+	interval := cfg.SessionIdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	o.wg.Add(1)
+	go o.janitor(interval)
+	return o, nil
+}
+
+// Close stops the janitor. It does not interrupt in-flight HTTP requests;
+// Server.Shutdown drains those first.
+func (o *Origin) Close() {
+	o.closeOnce.Do(func() { close(o.done) })
+	o.wg.Wait()
+}
+
+// WeightStore exposes the profile cache (tests assert its call counts).
+func (o *Origin) WeightStore() *WeightStore { return o.store }
+
+// ServeHTTP implements http.Handler.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.mux.ServeHTTP(w, r) }
+
+func (o *Origin) logf(format string, args ...any) {
+	if o.cfg.Logf != nil {
+		o.cfg.Logf(format, args...)
+	}
+}
+
+// --- control plane ---
+
+// JoinRequest is the POST /session body.
+type JoinRequest struct {
+	// Video names the catalog video the session will stream.
+	Video string `json:"video"`
+	// Trace optionally names the throughput trace to replay (defaults to
+	// the origin's DefaultTrace).
+	Trace string `json:"trace,omitempty"`
+	// TimeScale optionally overrides the origin's default compression.
+	TimeScale float64 `json:"timescale,omitempty"`
+}
+
+// JoinResponse is the POST /session reply.
+type JoinResponse struct {
+	SessionID string  `json:"session_id"`
+	Video     string  `json:"video"`
+	Trace     string  `json:"trace"`
+	TimeScale float64 `json:"timescale"`
+}
+
+func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		http.Error(w, "origin: bad join body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, ok := o.videos[req.Video]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", req.Video), http.StatusNotFound)
+		return
+	}
+	traceName := req.Trace
+	if traceName == "" {
+		traceName = o.cfg.DefaultTrace
+	}
+	tr, ok := o.cfg.Traces[traceName]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: trace %q not offered", traceName), http.StatusBadRequest)
+		return
+	}
+	scale := req.TimeScale
+	if scale == 0 {
+		scale = o.cfg.TimeScale
+	}
+	if scale <= 0 {
+		http.Error(w, fmt.Sprintf("origin: invalid timescale %v", req.TimeScale), http.StatusBadRequest)
+		return
+	}
+	shaper, err := dash.NewShaper(tr, scale)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s := &session{
+		id:        newSessionID(),
+		videoName: v.Name,
+		traceName: traceName,
+		timeScale: scale,
+		shaper:    shaper,
+		created:   time.Now(),
+	}
+	s.touch(s.created)
+	if !o.addSession(s) {
+		http.Error(w, "origin: session registry full", http.StatusServiceUnavailable)
+		return
+	}
+	o.logf("origin: session %s joined: video=%q trace=%q timescale=%g", s.id, v.Name, traceName, scale)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(JoinResponse{
+		SessionID: s.id,
+		Video:     v.Name,
+		Trace:     traceName,
+		TimeScale: scale,
+	})
+}
+
+func (o *Origin) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !o.removeSession(id) {
+		http.Error(w, fmt.Sprintf("origin: no session %q", id), http.StatusNotFound)
+		return
+	}
+	o.logf("origin: session %s left", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- data plane ---
+
+func (o *Origin) handleManifest(w http.ResponseWriter, r *http.Request) {
+	v, ok := o.videos[r.PathValue("video")]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", r.PathValue("video")), http.StatusNotFound)
+		return
+	}
+	if sid := r.URL.Query().Get("sid"); sid != "" {
+		o.lookupSession(sid) // refresh the idle clock; manifests work without a session too
+	}
+	weights, err := o.store.Get(v)
+	if err != nil {
+		o.logf("origin: profiling %q: %v", v.Name, err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	mpd, err := dash.BuildMPD(v, weights)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := mpd.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	o.manifestsServed.Add(1)
+	w.Header().Set("Content-Type", "application/dash+xml")
+	_, _ = w.Write(body)
+}
+
+// segmentPattern is the shared read-only payload source: handlers slice it
+// directly instead of allocating and re-filling a buffer per request (the
+// old server built a fresh 32 KiB buffer per segment). The quantum also
+// sets the shaping granularity — one Throttle sleep per written slice —
+// so a larger buffer means fewer timer wakeups per segment without
+// changing the total shaped duration.
+var segmentPattern = func() []byte {
+	b := make([]byte, 256*1024)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}()
+
+func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
+	v, ok := o.videos[r.PathValue("video")]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", r.PathValue("video")), http.StatusNotFound)
+		return
+	}
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		http.Error(w, "origin: segment request without sid (join via POST /session)", http.StatusBadRequest)
+		return
+	}
+	sess, ok := o.lookupSession(sid)
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", sid), http.StatusNotFound)
+		return
+	}
+	if sess.videoName != v.Name {
+		http.Error(w, fmt.Sprintf("origin: session %s is pinned to %q, not %q", sid, sess.videoName, v.Name), http.StatusConflict)
+		return
+	}
+	chunk, err1 := strconv.Atoi(r.PathValue("chunk"))
+	rung, err2 := strconv.Atoi(r.PathValue("rung"))
+	if err1 != nil || err2 != nil || chunk < 0 || chunk >= v.NumChunks() || rung < 0 || rung >= len(v.Ladder) {
+		http.Error(w, "origin: segment out of range", http.StatusNotFound)
+		return
+	}
+	size := int(v.ChunkSizeBits(chunk, rung) / 8)
+	sess.inflight.Add(1)
+	defer sess.inflight.Add(-1)
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.Itoa(size))
+
+	// Stream slices of the shared pattern, sleeping per the session's
+	// shaper so this client observes its own trace's bandwidth. All
+	// accounting happens before the corresponding Write: Content-Length
+	// is set, so the moment the last slice hits the socket the client may
+	// observe the transfer complete and read /stats — counters updated
+	// after the Write would race with that read.
+	ctx := r.Context()
+	remaining := size
+	for remaining > 0 {
+		n := len(segmentPattern)
+		if remaining < n {
+			n = remaining
+		}
+		if !sleepCtx(ctx, sess.shaper.Throttle(n)) {
+			return // client went away mid-throttle
+		}
+		// A long shaped transfer is activity: keep the janitor away.
+		sess.touch(time.Now())
+		sess.bytes.Add(int64(n))
+		o.bytesServed.Add(int64(n))
+		remaining -= n
+		if remaining == 0 {
+			sess.segments.Add(1)
+			o.segmentsServed.Add(1)
+			o.videoHit(v.Name)
+		}
+		if _, err := w.Write(segmentPattern[:n]); err != nil {
+			return // client went away
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+}
+
+// sleepCtx sleeps for d unless ctx is canceled first; it reports whether
+// the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (o *Origin) videoHit(name string) {
+	c, ok := o.videoHits.Load(name)
+	if !ok {
+		c, _ = o.videoHits.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// --- stats ---
+
+// SessionStats is one active session's /stats row.
+type SessionStats struct {
+	ID        string  `json:"id"`
+	Video     string  `json:"video"`
+	Trace     string  `json:"trace"`
+	TimeScale float64 `json:"timescale"`
+	Bytes     int64   `json:"bytes"`
+	Segments  int64   `json:"segments"`
+	IdleSec   float64 `json:"idle_sec"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	ActiveSessions   int              `json:"active_sessions"`
+	SessionsCreated  int64            `json:"sessions_created"`
+	SessionsClosed   int64            `json:"sessions_closed"`
+	SessionsExpired  int64            `json:"sessions_expired"`
+	BytesServed      int64            `json:"bytes_served"`
+	SegmentsServed   int64            `json:"segments_served"`
+	ManifestsServed  int64            `json:"manifests_served"`
+	ProfilesComputed int64            `json:"profiles_computed"`
+	ProfilesFromDisk int64            `json:"profiles_from_disk"`
+	VideoHits        map[string]int64 `json:"video_hits"`
+	Sessions         []SessionStats   `json:"sessions,omitempty"`
+}
+
+// Stats snapshots the origin's counters.
+func (o *Origin) Stats() Stats {
+	now := time.Now()
+	o.mu.Lock()
+	sessions := make([]SessionStats, 0, len(o.sessions))
+	for _, s := range o.sessions {
+		sessions = append(sessions, SessionStats{
+			ID:        s.id,
+			Video:     s.videoName,
+			Trace:     s.traceName,
+			TimeScale: s.timeScale,
+			Bytes:     s.bytes.Load(),
+			Segments:  s.segments.Load(),
+			IdleSec:   s.idleSince(now).Seconds(),
+			UptimeSec: now.Sub(s.created).Seconds(),
+		})
+	}
+	o.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+
+	hits := map[string]int64{}
+	o.videoHits.Range(func(k, v any) bool {
+		hits[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return Stats{
+		ActiveSessions:   len(sessions),
+		SessionsCreated:  o.sessionsCreated.Load(),
+		SessionsClosed:   o.sessionsClosed.Load(),
+		SessionsExpired:  o.sessionsExpired.Load(),
+		BytesServed:      o.bytesServed.Load(),
+		SegmentsServed:   o.segmentsServed.Load(),
+		ManifestsServed:  o.manifestsServed.Load(),
+		ProfilesComputed: o.store.ProfileCalls(),
+		ProfilesFromDisk: o.store.DiskLoads(),
+		VideoHits:        hits,
+		Sessions:         sessions,
+	}
+}
+
+func (o *Origin) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(o.Stats())
+}

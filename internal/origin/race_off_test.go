@@ -1,6 +1,6 @@
 //go:build !race
 
-package dash
+package origin
 
 // raceEnabled reports whether the race detector is active; see
 // race_on_test.go.

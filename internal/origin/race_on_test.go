@@ -1,0 +1,9 @@
+//go:build race
+
+package origin
+
+// raceEnabled slows the emulated-time tests under the race detector: its
+// instrumentation overhead breaks the aggressive time compression used in
+// normal runs, so clients miss the shaper's schedule and buffers never
+// build.
+const raceEnabled = true

@@ -1,0 +1,79 @@
+package origin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultShutdownTimeout bounds Close's graceful drain.
+const DefaultShutdownTimeout = 10 * time.Second
+
+// Server binds an Origin to a TCP listener. Unlike the old single-video
+// dash server, shutdown is graceful: Shutdown(ctx) stops accepting new
+// connections and drains in-flight segment streams (which can be long —
+// they are trace-shaped) until ctx expires, at which point it force-closes
+// the stragglers.
+type Server struct {
+	origin   *Origin
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// NewServer wraps o. The origin's lifecycle is tied to the server's:
+// Shutdown/Close also close o.
+func NewServer(o *Origin) *Server {
+	return &Server{origin: o}
+}
+
+// Origin returns the served origin (for stats and weight-store access).
+func (s *Server) Origin() *Origin { return s.origin }
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("origin: listen: %w", err)
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.origin}
+	go func() {
+		// ErrServerClosed is the normal Shutdown/Close path; anything else
+		// is a real serving failure worth surfacing.
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.origin.logf("origin: serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests (segment streams included) drain until ctx expires,
+// then remaining connections are force-closed. The origin's janitor stops
+// either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	defer s.origin.Close()
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit: cut the stragglers loose.
+		if cerr := s.httpSrv.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}
+	return err
+}
+
+// Close is Shutdown with DefaultShutdownTimeout, for callers without a
+// context at hand.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultShutdownTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

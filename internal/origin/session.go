@@ -1,0 +1,125 @@
+package origin
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+
+	"sensei/internal/dash"
+)
+
+// session is one client's streaming context: its own trace-replaying
+// shaper (the per-session bottleneck), the video it is pinned to, and the
+// bookkeeping the control plane reports via /stats. Sessions are created
+// by POST /session, touched by every manifest/segment request, and reaped
+// by the idle janitor.
+type session struct {
+	id        string
+	videoName string
+	traceName string
+	timeScale float64
+	shaper    *dash.Shaper
+
+	created  time.Time
+	lastSeen atomic.Int64 // unix nanoseconds
+	inflight atomic.Int64 // segment streams currently being served
+	bytes    atomic.Int64
+	segments atomic.Int64
+}
+
+// newSessionID returns a 16-hex-char random identifier, unique for all
+// practical purposes within one origin process.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal everywhere else in the
+		// process too; fall back to a clock-derived ID rather than panic.
+		return "s" + hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// touch marks the session as active now.
+func (s *session) touch(now time.Time) {
+	s.lastSeen.Store(now.UnixNano())
+}
+
+// idleSince reports how long the session has been idle at now.
+func (s *session) idleSince(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastSeen.Load()))
+}
+
+// addSession registers a new session; it fails when the origin is at its
+// session cap.
+func (o *Origin) addSession(s *session) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.sessions) >= o.cfg.MaxSessions {
+		return false
+	}
+	o.sessions[s.id] = s
+	o.sessionsCreated.Add(1)
+	return true
+}
+
+// lookupSession resolves a session ID, refreshing its idle clock.
+func (o *Origin) lookupSession(id string) (*session, bool) {
+	o.mu.Lock()
+	s, ok := o.sessions[id]
+	o.mu.Unlock()
+	if ok {
+		s.touch(time.Now())
+	}
+	return s, ok
+}
+
+// removeSession deletes a session (client hang-up via DELETE /session).
+func (o *Origin) removeSession(id string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.sessions[id]; !ok {
+		return false
+	}
+	delete(o.sessions, id)
+	o.sessionsClosed.Add(1)
+	return true
+}
+
+// expireIdle removes sessions idle longer than the configured timeout and
+// returns how many were reaped. The janitor calls it periodically; tests
+// call it directly.
+func (o *Origin) expireIdle(now time.Time) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var reaped int
+	for id, s := range o.sessions {
+		// A session with a stream in flight is never idle, however long a
+		// single throttle sleep lasts (a deep-fade trace at timescale 1
+		// can hold one slice for minutes).
+		if s.inflight.Load() > 0 {
+			continue
+		}
+		if s.idleSince(now) > o.cfg.SessionIdleTimeout {
+			delete(o.sessions, id)
+			o.sessionsExpired.Add(1)
+			reaped++
+		}
+	}
+	return reaped
+}
+
+// janitor periodically reaps idle sessions until the origin closes.
+func (o *Origin) janitor(interval time.Duration) {
+	defer o.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.done:
+			return
+		case now := <-t.C:
+			o.expireIdle(now)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package origin
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sensei/internal/crowd"
+	"sensei/internal/video"
+)
+
+// ProfileFunc computes per-chunk sensitivity weights for a video — in
+// production the §4 crowdsourced campaign (crowd.Profiler), in tests a
+// stub. It must be safe for concurrent calls on distinct videos.
+type ProfileFunc func(v *video.Video) ([]float64, error)
+
+// WeightStore caches sensitivity profiles with singleflight semantics:
+// however many manifest requests race on a cold video, the profile
+// function runs at most once per video, everyone else blocks on the same
+// in-flight computation. When backed by a directory, computed weights are
+// persisted so a catalog origin restarts instantly instead of re-running
+// campaigns that cost real dollars and minutes (§4's whole point is that
+// profiling is done once per video, offline).
+type WeightStore struct {
+	dir     string // "" = memory only
+	profile ProfileFunc
+	logf    func(format string, args ...any) // nil discards
+
+	mu      sync.Mutex
+	entries map[string]*weightEntry
+
+	computed atomic.Int64
+	loaded   atomic.Int64
+}
+
+// weightEntry is one singleflight slot: the first getter closes done once
+// weights/err are final; everyone else waits on done.
+type weightEntry struct {
+	done    chan struct{}
+	weights []float64
+	err     error
+}
+
+// NewWeightStore builds a store. dir may be "" for a memory-only cache;
+// profile may be nil, in which case every video resolves to nil weights
+// (legacy manifests); logf may be nil to discard operational logs.
+func NewWeightStore(dir string, profile ProfileFunc, logf func(format string, args ...any)) *WeightStore {
+	return &WeightStore{dir: dir, profile: profile, logf: logf, entries: map[string]*weightEntry{}}
+}
+
+func (s *WeightStore) log(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// ProfileCalls reports how many times the profile function actually ran —
+// the number tests assert to prove singleflight and disk reuse.
+func (s *WeightStore) ProfileCalls() int64 { return s.computed.Load() }
+
+// DiskLoads reports how many profiles were served from the on-disk cache.
+func (s *WeightStore) DiskLoads() int64 { return s.loaded.Load() }
+
+// Get returns v's weights, computing and persisting them on first use.
+// Concurrent calls for the same video share one computation. A failed
+// computation is not cached: the next Get retries.
+func (s *WeightStore) Get(v *video.Video) ([]float64, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[v.Name]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.weights, e.err
+	}
+	e := &weightEntry{done: make(chan struct{})}
+	s.entries[v.Name] = e
+	s.mu.Unlock()
+
+	e.weights, e.err = s.resolve(v)
+	if e.err != nil {
+		s.mu.Lock()
+		delete(s.entries, v.Name)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.weights, e.err
+}
+
+// resolve is the cache-miss path: disk first, then the profile function.
+func (s *WeightStore) resolve(v *video.Video) ([]float64, error) {
+	if s.dir != "" {
+		w, err := readWeightFile(filepath.Join(s.dir, weightFileName(v.Name)), v)
+		switch {
+		case err == nil:
+			s.loaded.Add(1)
+			return w, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// A corrupt or stale file is a miss, not a fatal error: fall
+			// through to reprofiling, which overwrites it.
+		}
+	}
+	if s.profile == nil {
+		return nil, nil
+	}
+	s.computed.Add(1)
+	w, err := s.profile(v)
+	if err != nil {
+		return nil, fmt.Errorf("origin: profiling %q: %w", v.Name, err)
+	}
+	if len(w) != v.NumChunks() {
+		return nil, fmt.Errorf("origin: profiler returned %d weights for %d chunks of %q", len(w), v.NumChunks(), v.Name)
+	}
+	if s.dir != "" {
+		// The campaign is the expensive part; a persistence failure must
+		// not throw its result away. Serve from memory and say so — only
+		// the next process start pays for the missing file.
+		if err := writeWeightFile(filepath.Join(s.dir, weightFileName(v.Name)), v.Name, w); err != nil {
+			s.log("origin: persisting weights for %q: %v (serving from memory)", v.Name, err)
+		}
+	}
+	return w, nil
+}
+
+// --- on-disk codec ---
+
+// weightFileJSON is the stable wire form of one video's cached profile.
+type weightFileJSON struct {
+	Version int       `json:"version"`
+	Video   string    `json:"video"`
+	Chunks  int       `json:"chunks"`
+	Weights []float64 `json:"weights"`
+}
+
+// weightFileVersion guards against incompatible future layouts.
+const weightFileVersion = 1
+
+// weightFileName maps a video name to a filesystem-safe cache file name.
+// Excerpt names like "Soccer1[0:6]" contain characters some filesystems
+// dislike, so everything outside [A-Za-z0-9._-] becomes '_'.
+func weightFileName(videoName string) string {
+	var b strings.Builder
+	for _, r := range videoName {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + ".weights.json"
+}
+
+// writeWeightFile persists weights atomically (temp file + rename) so a
+// crashed origin never leaves a half-written profile behind.
+func writeWeightFile(path, videoName string, weights []float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("origin: weight dir: %w", err)
+	}
+	data, err := json.MarshalIndent(weightFileJSON{
+		Version: weightFileVersion,
+		Video:   videoName,
+		Chunks:  len(weights),
+		Weights: weights,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("origin: encoding weights for %q: %w", videoName, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".weights-*")
+	if err != nil {
+		return fmt.Errorf("origin: weight temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("origin: writing weights for %q: %w", videoName, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("origin: installing weights for %q: %w", videoName, err)
+	}
+	return nil
+}
+
+// readWeightFile loads and validates a persisted profile against the video
+// it is supposed to describe. Any mismatch (version, name, chunk count,
+// out-of-range weight) is an error; callers treat non-NotExist errors as a
+// cache miss.
+func readWeightFile(path string, v *video.Video) ([]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wf weightFileJSON
+	if err := json.Unmarshal(data, &wf); err != nil {
+		return nil, fmt.Errorf("origin: decoding %s: %w", path, err)
+	}
+	if wf.Version != weightFileVersion {
+		return nil, fmt.Errorf("origin: %s has version %d, want %d", path, wf.Version, weightFileVersion)
+	}
+	if wf.Video != v.Name {
+		return nil, fmt.Errorf("origin: %s is for video %q, want %q", path, wf.Video, v.Name)
+	}
+	if wf.Chunks != v.NumChunks() || len(wf.Weights) != v.NumChunks() {
+		return nil, fmt.Errorf("origin: %s has %d weights for %d chunks of %q", path, len(wf.Weights), v.NumChunks(), v.Name)
+	}
+	for i, w := range wf.Weights {
+		if !crowd.ValidWeight(w) {
+			return nil, fmt.Errorf("origin: %s weight %d is %v", path, i, w)
+		}
+	}
+	return wf.Weights, nil
+}

@@ -1,0 +1,291 @@
+package origin
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensei/internal/video"
+)
+
+// countingProfile wraps trueSensitivityProfile with an invocation counter
+// and an optional artificial delay to widen race windows.
+func countingProfile(calls *atomic.Int64, delay time.Duration) ProfileFunc {
+	return func(v *video.Video) ([]float64, error) {
+		calls.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return v.TrueSensitivity(), nil
+	}
+}
+
+// TestWeightStoreSingleflight is the acceptance-criteria proof: many
+// concurrent manifest requests on a cold catalog run the profiler at most
+// once per video.
+func TestWeightStoreSingleflight(t *testing.T) {
+	videos := []*video.Video{
+		excerptOf(t, "Soccer1", 6),
+		excerptOf(t, "Tank", 6),
+	}
+	var calls atomic.Int64
+	srv, base := startOrigin(t, Config{
+		Catalog:      videos,
+		Profile:      countingProfile(&calls, 30*time.Millisecond),
+		Traces:       flatTraces(map[string]float64{"f": 1e9}),
+		DefaultTrace: "f",
+		TimeScale:    0.001,
+	})
+
+	const clientsPerVideo = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, len(videos)*clientsPerVideo)
+	for _, v := range videos {
+		for k := 0; k < clientsPerVideo; k++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				resp, err := http.Get(base + "/v/" + name + "/manifest.mpd")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("manifest %s: %s", name, resp.Status)
+				}
+			}(v.Name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(videos)) {
+		t.Fatalf("profiler ran %d times for %d videos", got, len(videos))
+	}
+	if got := srv.Origin().WeightStore().ProfileCalls(); got != int64(len(videos)) {
+		t.Fatalf("store counted %d profile calls", got)
+	}
+}
+
+// TestWeightStorePersistence proves profiles survive a store restart via
+// the on-disk codec: the second store serves from disk without profiling.
+func TestWeightStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	v := excerptOf(t, "Soccer1", 6)
+
+	var calls1 atomic.Int64
+	s1 := NewWeightStore(dir, countingProfile(&calls1, 0), nil)
+	w1, err := s1.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls1.Load() != 1 {
+		t.Fatalf("first store profiled %d times", calls1.Load())
+	}
+
+	var calls2 atomic.Int64
+	s2 := NewWeightStore(dir, countingProfile(&calls2, 0), nil)
+	w2, err := s2.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls2.Load() != 0 {
+		t.Fatalf("restarted store re-profiled %d times", calls2.Load())
+	}
+	if s2.DiskLoads() != 1 {
+		t.Fatalf("disk loads %d", s2.DiskLoads())
+	}
+	if len(w1) != len(w2) {
+		t.Fatalf("weights changed across restart: %d vs %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("weight %d changed across restart: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+}
+
+// TestOriginWeightsSurviveRestart is the same guarantee at the HTTP layer:
+// a second origin process on the same weight dir serves manifests without
+// re-profiling.
+func TestOriginWeightsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	v := excerptOf(t, "Lava", 6)
+	cfg := func(calls *atomic.Int64) Config {
+		return Config{
+			Catalog:      []*video.Video{v},
+			Profile:      countingProfile(calls, 0),
+			WeightDir:    dir,
+			Traces:       flatTraces(map[string]float64{"f": 1e9}),
+			DefaultTrace: "f",
+			TimeScale:    0.001,
+		}
+	}
+
+	var calls1 atomic.Int64
+	o1, err := New(cfg(&calls1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(o1)
+	addr1, err := srv1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr1 + "/v/" + v.Name + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if calls1.Load() != 1 {
+		t.Fatalf("first origin profiled %d times", calls1.Load())
+	}
+
+	var calls2 atomic.Int64
+	_, base2 := startOrigin(t, cfg(&calls2))
+	resp, err = http.Get(base2 + "/v/" + v.Name + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest after restart: %s", resp.Status)
+	}
+	if calls2.Load() != 0 {
+		t.Fatalf("restarted origin re-profiled %d times", calls2.Load())
+	}
+}
+
+// TestWeightStoreCorruptFile treats an unreadable or mismatched cache file
+// as a miss and overwrites it with a fresh profile.
+func TestWeightStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	v := excerptOf(t, "Tank", 6)
+	path := filepath.Join(dir, weightFileName(v.Name))
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s := NewWeightStore(dir, countingProfile(&calls, 0), nil)
+	if _, err := s.Get(v); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("profiled %d times on corrupt file", calls.Load())
+	}
+	// The rewritten file must now be valid.
+	if _, err := readWeightFile(path, v); err != nil {
+		t.Fatalf("rewritten file invalid: %v", err)
+	}
+
+	// A file for a different cut of the video (wrong chunk count) is also
+	// a miss.
+	other := excerptOf(t, "Tank", 4)
+	if _, err := readWeightFile(path, other); err == nil {
+		t.Fatal("chunk-count mismatch accepted")
+	}
+}
+
+// TestWeightStoreErrorNotCached retries after a failed profile instead of
+// wedging the video forever.
+func TestWeightStoreErrorNotCached(t *testing.T) {
+	v := excerptOf(t, "Girl", 6)
+	var calls atomic.Int64
+	s := NewWeightStore("", func(v *video.Video) ([]float64, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return v.TrueSensitivity(), nil
+	}, nil)
+	if _, err := s.Get(v); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	w, err := s.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || calls.Load() != 2 {
+		t.Fatalf("retry did not run: weights=%v calls=%d", w != nil, calls.Load())
+	}
+}
+
+// TestWeightStoreNilProfile serves legacy manifests without weights.
+func TestWeightStoreNilProfile(t *testing.T) {
+	v := excerptOf(t, "Girl", 6)
+	s := NewWeightStore("", nil, nil)
+	w, err := s.Get(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatalf("nil profile produced weights %v", w)
+	}
+}
+
+// TestWeightStoreRejectsBadProfiler catches profile functions returning
+// the wrong number of weights.
+func TestWeightStoreRejectsBadProfiler(t *testing.T) {
+	v := excerptOf(t, "Girl", 6)
+	s := NewWeightStore("", func(v *video.Video) ([]float64, error) {
+		return []float64{1, 1}, nil
+	}, nil)
+	if _, err := s.Get(v); err == nil {
+		t.Fatal("wrong-length weights accepted")
+	}
+}
+
+// TestWeightStorePersistFailureServesFromMemory: the campaign result is
+// never discarded because the cache file could not be written.
+func TestWeightStorePersistFailureServesFromMemory(t *testing.T) {
+	// A regular file as "directory" makes every write fail.
+	notDir := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(notDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v := excerptOf(t, "Girl", 6)
+	var calls atomic.Int64
+	var logged atomic.Int64
+	s := NewWeightStore(filepath.Join(notDir, "weights"), countingProfile(&calls, 0),
+		func(string, ...any) { logged.Add(1) })
+	w, err := s.Get(v)
+	if err != nil {
+		t.Fatalf("persist failure surfaced as Get error: %v", err)
+	}
+	if len(w) != v.NumChunks() {
+		t.Fatalf("got %d weights", len(w))
+	}
+	if logged.Load() == 0 {
+		t.Fatal("persist failure was not logged")
+	}
+	// Still cached in memory: no re-profiling on the next Get.
+	if _, err := s.Get(v); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("profiled %d times", calls.Load())
+	}
+}
+
+func TestWeightFileNameSanitizes(t *testing.T) {
+	got := weightFileName("Soccer1[0:6]")
+	if got != "Soccer1_0_6_.weights.json" {
+		t.Fatalf("sanitized name %q", got)
+	}
+	if got := weightFileName("a/b\\c"); got != "a_b_c.weights.json" {
+		t.Fatalf("sanitized name %q", got)
+	}
+}

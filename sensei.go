@@ -21,6 +21,13 @@
 // Everything is deterministic given seeds and uses only the standard
 // library. The real user studies, video assets and network traces of the
 // paper are replaced by synthetic substrates documented in DESIGN.md.
+//
+// For the §6 deployment story there is a multi-tenant DASH origin: one
+// process serves the whole catalog over real TCP, clients join sessions
+// shaped by per-session trace cursors, and sensitivity weights are
+// profiled lazily (once per video, persisted on disk) and delivered via
+// the manifest's SenseiWeights extension. See NewDASHOrigin, NewDASHServer
+// and DASHClient, or run cmd/dashserver and cmd/dashclient.
 package sensei
 
 import (
@@ -28,6 +35,7 @@ import (
 	"sensei/internal/crowd"
 	"sensei/internal/dash"
 	"sensei/internal/mos"
+	"sensei/internal/origin"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/trace"
@@ -198,29 +206,49 @@ func WeightedSessionQoE(r *Rendering, weights []float64) float64 {
 	return abr.WeightedSessionQoE(r, weights)
 }
 
-// DASH integration (§6): manifest with the SenseiWeights extension, a
-// trace-shaped segment server, and a streaming client over real TCP.
+// DASH integration (§6), scaled to a multi-tenant origin: one process
+// serves the whole catalog, each client joins a session whose egress is
+// shaped by its own trace cursor, sensitivity weights are profiled lazily
+// at most once per video (cached in memory and optionally on disk), and
+// the manifest carries the SenseiWeights extension over real TCP.
 type (
-	// DASHServer serves manifests and shaped segments.
-	DASHServer = dash.Server
-	// DASHClient streams from a DASHServer, driving an Algorithm.
+	// DASHOrigin is the multi-tenant origin: catalog, weight store and
+	// session control plane. It implements http.Handler.
+	DASHOrigin = origin.Origin
+	// DASHOriginConfig assembles a DASHOrigin.
+	DASHOriginConfig = origin.Config
+	// DASHServer binds a DASHOrigin to a TCP listener with graceful,
+	// context-based shutdown.
+	DASHServer = origin.Server
+	// DASHStats is the origin's /stats snapshot.
+	DASHStats = origin.Stats
+	// DASHProfileFunc computes weights for a video on first manifest
+	// request (e.g. wrapping Profiler.Profile).
+	DASHProfileFunc = origin.ProfileFunc
+	// DASHClient joins an origin session and streams, driving an
+	// Algorithm.
 	DASHClient = dash.Client
-	// DASHShaper throttles server egress to follow a trace.
+	// DASHSession is the outcome of one streamed playback.
+	DASHSession = dash.Session
+	// DASHShaper throttles a session's egress to follow a trace.
 	DASHShaper = dash.Shaper
 	// MPD is the extended DASH manifest.
 	MPD = dash.MPD
 )
 
+// NewDASHOrigin builds a multi-tenant origin from cfg. Close it when done
+// (NewDASHServer ties it to the server's shutdown).
+func NewDASHOrigin(cfg DASHOriginConfig) (*DASHOrigin, error) { return origin.New(cfg) }
+
+// NewDASHServer binds o to a listener; Start it, then Shutdown(ctx) to
+// drain in-flight segment streams.
+func NewDASHServer(o *DASHOrigin) *DASHServer { return origin.NewServer(o) }
+
 // NewDASHShaper starts a shaper replaying tr; timeScale < 1 compresses
 // wall-clock time (0.01 runs sessions 100x faster than real time).
+// Origins build one per session internally.
 func NewDASHShaper(tr *Trace, timeScale float64) (*DASHShaper, error) {
 	return dash.NewShaper(tr, timeScale)
-}
-
-// NewDASHServer builds a segment server for v; weights may be nil for a
-// legacy manifest.
-func NewDASHServer(v *Video, weights []float64, shaper *DASHShaper) (*DASHServer, error) {
-	return dash.NewServer(v, weights, shaper)
 }
 
 // BuildMPD renders the manifest for a video, embedding weights when

@@ -1,6 +1,7 @@
 package sensei_test
 
 import (
+	"context"
 	"testing"
 
 	"sensei"
@@ -92,31 +93,55 @@ func TestPublicAPIDASH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	v2, err := sensei.VideoByName("Tank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip2, err := v2.Excerpt(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := sensei.GenerateTrace(sensei.TraceSpec{Name: "d", Kind: sensei.TraceFCC, MeanBps: 5e6, Seconds: 300, Seed: 5})
-	shaper, err := sensei.NewDASHShaper(tr, 0.002)
+	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
+		Catalog: []*sensei.Video{clip, clip2},
+		Profile: func(v *sensei.Video) ([]float64, error) {
+			weights := make([]float64, v.NumChunks())
+			for i := range weights {
+				weights[i] = 1
+			}
+			return weights, nil
+		},
+		Traces:       map[string]*sensei.Trace{"d": tr},
+		DefaultTrace: "d",
+		TimeScale:    0.002,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	weights := make([]float64, clip.NumChunks())
-	for i := range weights {
-		weights[i] = 1
-	}
-	srv, err := sensei.NewDASHServer(clip, weights, shaper)
-	if err != nil {
-		t.Fatal(err)
-	}
+	srv := sensei.NewDASHServer(o)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	client := &sensei.DASHClient{BaseURL: "http://" + addr, Algorithm: sensei.NewBBA(), TimeScale: 0.002}
-	sess, err := client.Stream(clip)
+	client := &sensei.DASHClient{BaseURL: "http://" + addr, Algorithm: sensei.NewBBA()}
+	sess, err := client.Stream(context.Background(), clip)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sess.BytesDownloaded == 0 {
 		t.Fatal("no traffic")
+	}
+	if len(sess.Weights) != clip.NumChunks() {
+		t.Fatalf("manifest carried %d weights", len(sess.Weights))
+	}
+	st := o.Stats()
+	if st.ActiveSessions != 1 || st.BytesServed != sess.BytesDownloaded {
+		t.Fatalf("origin stats %+v", st)
+	}
+	weights := make([]float64, clip.NumChunks())
+	for i := range weights {
+		weights[i] = 1
 	}
 	mpd, err := sensei.BuildMPD(clip, weights)
 	if err != nil {
