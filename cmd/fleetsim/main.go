@@ -1,0 +1,144 @@
+// Command fleetsim drives a concurrent streaming fleet against one
+// multi-tenant DASH origin and prints the aggregate report: QoE, rebuffer
+// and throughput percentiles, per-ABR and per-trace cohorts, and an exact
+// reconciliation of the fleet's client-side byte/segment ledgers against
+// the origin's /stats. It exits non-zero when any session fails or the
+// ledgers disagree, so it doubles as a CI smoke for the client/simulator
+// parity contract under production-scale concurrency.
+//
+// Usage:
+//
+//	fleetsim [-sessions 64] [-videos Soccer1,Tank,Mountain,Lava] [-excerpt 8]
+//	         [-abrs ratebased,bola,mpc,sensei-mpc] [-traces fast=32,slow=4]
+//	         [-timescales 0.05] [-workers 0] [-timeout 0] [-noweights]
+//	         [-json] [-outcomes] [-v]
+//
+// -traces lists flat traces as name=Mbps pairs; -timescales is the
+// wall-clock compression mix. Sessions walk the full video×trace×abr×
+// timescale cross product with a coprime stride, so every combination is
+// covered and cohorts are never confounded with each other.
+// -workers bounds concurrently running sessions (0 = whole fleet at once).
+// -timeout bounds the whole run (0 = none). -json emits the report as JSON
+// (with per-session rows under -outcomes) instead of text.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sensei"
+	"sensei/internal/fleet"
+	"sensei/internal/trace"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 64, "fleet size")
+	videos := flag.String("videos", "Soccer1,Tank,Mountain,Lava", "comma-separated catalog video names")
+	excerpt := flag.Int("excerpt", 8, "stream only the first N chunks of each video (0 = full)")
+	abrs := flag.String("abrs", "ratebased,bola,mpc,sensei-mpc", "comma-separated ABR mix")
+	traces := flag.String("traces", "fast=32,slow=4", "comma-separated name=Mbps flat traces")
+	timescales := flag.String("timescales", "0.05", "comma-separated wall-clock compression mix")
+	workers := flag.Int("workers", 0, "max concurrently running sessions (0 = all)")
+	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = none)")
+	noWeights := flag.Bool("noweights", false, "serve weightless manifests (skip sensitivity profiling)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	outcomes := flag.Bool("outcomes", false, "include per-session rows in the JSON report")
+	verbose := flag.Bool("v", false, "log origin activity to stderr")
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Sessions:     *sessions,
+		KeepOutcomes: *outcomes,
+		Workers:      *workers,
+	}
+
+	for _, name := range splitList(*videos) {
+		v, err := sensei.VideoByName(name)
+		if err != nil {
+			fail(err)
+		}
+		if *excerpt > 0 && *excerpt < v.NumChunks() {
+			if v, err = v.Excerpt(0, *excerpt); err != nil {
+				fail(err)
+			}
+		}
+		cfg.Videos = append(cfg.Videos, v)
+	}
+
+	cfg.Traces = map[string]*trace.Trace{}
+	for _, spec := range splitList(*traces) {
+		name, mbpsStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad trace spec %q (want name=Mbps)", spec))
+		}
+		mbps, err := strconv.ParseFloat(mbpsStr, 64)
+		if err != nil || mbps <= 0 {
+			fail(fmt.Errorf("bad trace rate %q in %q", mbpsStr, spec))
+		}
+		cfg.Traces[name] = &trace.Trace{Name: name, BitsPerSecond: []float64{mbps * 1e6}}
+	}
+
+	for _, a := range splitList(*abrs) {
+		cfg.ABRs = append(cfg.ABRs, fleet.ABR(a))
+	}
+	for _, s := range splitList(*timescales) {
+		ts, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad timescale %q", s))
+		}
+		cfg.TimeScales = append(cfg.TimeScales, ts)
+	}
+
+	if !*noWeights {
+		cfg.Profile = func(v *sensei.Video) ([]float64, error) { return v.TrueSensitivity(), nil }
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	report, err := fleet.Run(ctx, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Println(report.Render())
+	}
+	if report.Failed > 0 || !report.Reconciliation.Ok {
+		os.Exit(1)
+	}
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

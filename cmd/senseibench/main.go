@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,8 +25,10 @@ import (
 
 	"sensei/internal/abr"
 	"sensei/internal/experiments"
+	"sensei/internal/fleet"
 	"sensei/internal/origin"
 	"sensei/internal/player"
+	"sensei/internal/trace"
 	"sensei/internal/video"
 )
 
@@ -39,6 +42,7 @@ type benchReport struct {
 	GOMAXPROCS     int                `json:"gomaxprocs"`
 	Planner        plannerBench       `json:"planner"`
 	Origin         originBench        `json:"origin"`
+	Fleet          fleetBench         `json:"fleet"`
 	ExperimentSec  map[string]float64 `json:"experiment_sec"`
 	TotalSec       float64            `json:"total_sec"`
 	ExperimentList []string           `json:"experiment_list"`
@@ -112,6 +116,51 @@ func originMicroBench() (originBench, error) {
 	return originBench{
 		SegmentsPerSec: iters / elapsed,
 		MBPerSec:       float64(iters) * float64(h.SegmentBytes) / 1e6 / elapsed,
+	}, nil
+}
+
+// fleetBench summarizes one end-to-end fleet run (internal/fleet): a
+// 16-session mixed-ABR fleet over 4 videos with shaping effectively
+// disabled, so sessions/sec tracks harness + client + origin overhead
+// rather than trace replay. Mirrors BenchmarkFleet.
+type fleetBench struct {
+	Sessions       int     `json:"sessions"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	SegmentsPerSec float64 `json:"segments_per_sec"`
+	Reconciled     bool    `json:"reconciled"`
+}
+
+// fleetMicroBench runs the fleet harness once and reports its throughput.
+func fleetMicroBench() (fleetBench, error) {
+	catalog := make([]*video.Video, 0, 4)
+	for _, name := range []string{"Soccer1", "Tank", "Mountain", "Lava"} {
+		full, err := video.ByName(name)
+		if err != nil {
+			return fleetBench{}, err
+		}
+		v, err := full.Excerpt(0, 4)
+		if err != nil {
+			return fleetBench{}, err
+		}
+		catalog = append(catalog, v)
+	}
+	report, err := fleet.Run(context.Background(), fleet.Config{
+		Sessions:   16,
+		Videos:     catalog,
+		Traces:     map[string]*trace.Trace{"wire": {Name: "wire", BitsPerSecond: []float64{1e9}}},
+		TimeScales: []float64{0.001},
+	})
+	if err != nil {
+		return fleetBench{}, err
+	}
+	if report.Failed > 0 || !report.Reconciliation.Ok {
+		return fleetBench{}, fmt.Errorf("fleet bench did not reconcile:\n%s", report.Render())
+	}
+	return fleetBench{
+		Sessions:       report.Sessions,
+		SessionsPerSec: report.SessionsPerSec,
+		SegmentsPerSec: float64(report.SegmentsDownloaded) / report.ElapsedSec,
+		Reconciled:     report.Reconciliation.Ok,
 	}, nil
 }
 
@@ -198,6 +247,12 @@ func main() {
 			os.Exit(1)
 		}
 		report.Origin = ob
+		fb, err := fleetMicroBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: fleet bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Fleet = fb
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "senseibench: %v\n", err)
@@ -213,7 +268,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "senseibench: closing %s: %v\n", *benchJSON, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, total %.1fs]\n",
-			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.TotalSec)
+		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, total %.1fs]\n",
+			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec, report.TotalSec)
 	}
 }

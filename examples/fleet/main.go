@@ -1,0 +1,58 @@
+// Fleet: the production-scale workload demo — one multi-tenant origin, a
+// 48-session streaming fleet mixing four videos, two traces, two
+// timescales and all four ABR algorithms, with the aggregate report's
+// client-side ledgers reconciled exactly against the origin's /stats.
+// This is the scenario the client/simulator parity contract (DESIGN.md)
+// exists for: one diverging client corrupts cohort comparisons, and the
+// exact-ledger check catches it.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sensei"
+)
+
+func main() {
+	catalog := make([]*sensei.Video, 0, 4)
+	for _, name := range []string{"Soccer1", "Tank", "Mountain", "Lava"} {
+		full, err := sensei.VideoByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := full.Excerpt(0, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalog = append(catalog, v)
+	}
+
+	traces := map[string]*sensei.Trace{
+		"broadband": sensei.GenerateTrace(sensei.TraceSpec{
+			Name: "broadband", Kind: sensei.TraceFCC, MeanBps: 6e6, Seconds: 900, Seed: 71,
+		}),
+		"commute": sensei.GenerateTrace(sensei.TraceSpec{
+			Name: "commute", Kind: sensei.TraceHSDPA, MeanBps: 1.5e6, Seconds: 900, Seed: 72,
+		}),
+	}
+
+	report, err := sensei.RunFleet(context.Background(), sensei.FleetConfig{
+		Sessions:   48,
+		Videos:     catalog,
+		Traces:     traces,
+		ABRs:       []sensei.FleetABR{sensei.FleetRateBased, sensei.FleetBOLA, sensei.FleetMPC, sensei.FleetSensei},
+		TimeScales: []float64{0.05, 0.1},
+		Profile:    func(v *sensei.Video) ([]float64, error) { return v.TrueSensitivity(), nil },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Render())
+	if report.Failed > 0 || !report.Reconciliation.Ok {
+		log.Fatal("fleet did not reconcile — client and origin ledgers disagree")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"time"
 
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/video"
@@ -23,6 +24,21 @@ import (
 // Sessions running near real time should raise RequestTimeout or disable
 // it with a negative value.
 const DefaultRequestTimeout = 5 * time.Minute
+
+// DefaultMaxPreStallSec caps a single proactive stall when
+// Client.MaxPreStallSec is zero. It matches player.Config's default so the
+// client realizes exactly the action space the simulator allows.
+const DefaultMaxPreStallSec = 2
+
+// MinDownloadVirtualSec floors a measured segment download duration in
+// virtual seconds. Local origins at small timescales can deliver a segment
+// within clock resolution; without the floor the throughput sample
+// bytes*8/elapsed degenerates to absurd magnitudes (up to +Inf), which
+// poisons the ABR's prediction history. One virtual millisecond is far
+// below any download the trace substrate can produce (the smallest chunk is
+// ~1.2 Mb, the fastest trace ~tens of Mbps), so real measurements are
+// untouched.
+const MinDownloadVirtualSec = 1e-3
 
 // Client streams a video from a multi-tenant origin, driving a
 // player.Algorithm exactly like the simulator does but over real TCP with
@@ -51,6 +67,10 @@ type Client struct {
 	HTTP *http.Client
 	// MaxBufferSec caps the client buffer (default 60 virtual seconds).
 	MaxBufferSec float64
+	// MaxPreStallSec caps a single proactive stall (default 2, the paper's
+	// {0,1,2} action space) — the same clamp player.Config applies, so
+	// client and simulator playback semantics stay interchangeable.
+	MaxPreStallSec float64
 	// RequestTimeout bounds each HTTP request (default
 	// DefaultRequestTimeout; negative disables the timeout).
 	RequestTimeout time.Duration
@@ -77,6 +97,9 @@ type Session struct {
 	DownloadVirtualSec float64
 	// BytesDownloaded counts segment payload traffic.
 	BytesDownloaded int64
+	// ThroughputBps holds the per-chunk measured throughput samples exactly
+	// as they entered the ABR's history, most recent last.
+	ThroughputBps []float64
 }
 
 // joinRequest and joinResponse mirror the origin's POST /session wire
@@ -134,28 +157,56 @@ func (c *Client) Join(ctx context.Context, videoName string) error {
 }
 
 // Leave deletes the client's session on the origin, freeing it before the
-// idle-expiry janitor would.
+// idle-expiry janitor would. The origin refuses (409) while a segment
+// stream is still draining — after an aborted download its handler may not
+// have observed the disconnect yet — so a conflict is retried briefly
+// before it becomes an error.
 func (c *Client) Leave(ctx context.Context) error {
 	if c.sid == "" {
 		return nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	const (
+		leaveRetryInterval = 25 * time.Millisecond
+		leaveRetries       = 40 // ~1s of draining grace
+	)
+	for attempt := 0; ; attempt++ {
+		status, msg, err := c.leaveOnce(ctx)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusConflict && attempt < leaveRetries {
+			if !par.Sleep(ctx, leaveRetryInterval) {
+				return fmt.Errorf("dash: leaving session: %w", ctx.Err())
+			}
+			continue
+		}
+		if status != http.StatusNoContent && status != http.StatusNotFound {
+			return fmt.Errorf("dash: leaving session: status %d: %s", status, msg)
+		}
+		c.sid = ""
+		return nil
+	}
+}
+
+// leaveOnce issues one DELETE /session and returns the status code plus
+// the response message.
+func (c *Client) leaveOnce(ctx context.Context) (int, string, error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodDelete, c.BaseURL+"/session/"+url.PathEscape(c.sid), nil)
 	if err != nil {
-		return fmt.Errorf("dash: leave request: %w", err)
+		return 0, "", fmt.Errorf("dash: leave request: %w", err)
 	}
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return fmt.Errorf("dash: leaving session: %w", err)
+		return 0, "", fmt.Errorf("dash: leaving session: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("dash: leaving session: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	c.sid = ""
-	return nil
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return resp.StatusCode, string(bytes.TrimSpace(msg)), nil
 }
 
 // Stream plays the whole video for v within the client's session and
@@ -188,6 +239,10 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	maxBuf := c.MaxBufferSec
 	if maxBuf <= 0 {
 		maxBuf = 60
+	}
+	maxStall := c.MaxPreStallSec
+	if maxStall <= 0 {
+		maxStall = DefaultMaxPreStallSec
 	}
 
 	mpdBody, err := c.get(ctx, c.videoPath(v.Name, "manifest.mpd"))
@@ -243,6 +298,12 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if d.Rung < 0 || d.Rung >= len(v.Ladder) {
 			return nil, fmt.Errorf("dash: %s chose rung %d", c.Algorithm.Name(), d.Rung)
 		}
+		if d.PreStallSec < 0 {
+			return nil, fmt.Errorf("dash: %s chose negative proactive stall %v", c.Algorithm.Name(), d.PreStallSec)
+		}
+		if d.PreStallSec > maxStall {
+			d.PreStallSec = maxStall
+		}
 
 		// MSE-style delayed sink: withhold playback for the proactive
 		// stall while the download proceeds, crediting the buffer.
@@ -252,9 +313,15 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			sess.RebufferVirtualSec += d.PreStallSec
 		}
 
+		// Wait out a full buffer before starting the download — a
+		// context-aware pause, so a canceled stream returns promptly
+		// instead of sleeping the wait out (at timescale 1 a full-buffer
+		// wait is seconds of wall clock).
 		if buffer+chunkDur > maxBuf {
 			wait := buffer + chunkDur - maxBuf
-			time.Sleep(time.Duration(wait * scale * float64(time.Second)))
+			if !par.Sleep(ctx, time.Duration(wait*scale*float64(time.Second))) {
+				return nil, fmt.Errorf("dash: stream canceled during buffer wait at chunk %d: %w", i, ctx.Err())
+			}
 			buffer -= wait
 		}
 
@@ -264,6 +331,14 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
 		}
 		elapsedVirtual := time.Since(start).Seconds() / scale
+		// At aggressive timescales a segment can land within clock
+		// resolution; an unfloored duration yields absurd (up to +Inf)
+		// throughput samples that poison the ABR's history, so the
+		// measurement never drops below MinDownloadVirtualSec — the same
+		// kind of floor the simulator gets for free from its trace cursor.
+		if elapsedVirtual < MinDownloadVirtualSec {
+			elapsedVirtual = MinDownloadVirtualSec
+		}
 		sess.BytesDownloaded += int64(len(body))
 		sess.DownloadVirtualSec += elapsedVirtual
 
@@ -282,6 +357,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		sess.Rendering.Rungs[i] = d.Rung
 		lastRung = d.Rung
 		measured := float64(len(body)*8) / elapsedVirtual
+		sess.ThroughputBps = append(sess.ThroughputBps, measured)
 		thr = append(thr, measured)
 		if len(thr) > 8 {
 			thr = thr[1:]

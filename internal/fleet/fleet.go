@@ -1,0 +1,350 @@
+// Package fleet is the streaming-fleet harness: it drives N concurrent
+// dash.Clients — a deterministic mix of catalog videos, throughput traces,
+// timescales and ABR algorithms — against one multi-tenant origin.Server,
+// captures every session's outcome, and reconciles the client-side byte and
+// segment ledgers against the origin's /stats exactly.
+//
+// The harness is the scenario generator that makes client/simulator
+// divergence observable at scale: a single e2e test exercises one client on
+// one trace, while a fleet run covers the cross product the paper's
+// evaluation (§7) sweeps and the ROADMAP's production-scale story needs.
+// Scheduling is bounded fork-join via internal/par; the mix assignment is a
+// pure function of the session index, so a fleet run's workload is
+// reproducible regardless of worker count.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"sensei/internal/abr"
+	"sensei/internal/dash"
+	"sensei/internal/mos"
+	"sensei/internal/origin"
+	"sensei/internal/par"
+	"sensei/internal/player"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// ABR names a fleet-selectable adaptation algorithm.
+type ABR string
+
+// The ABR algorithms a fleet can mix.
+const (
+	ABRRateBased ABR = "ratebased"
+	ABRBOLA      ABR = "bola"
+	ABRMPC       ABR = "mpc"
+	ABRSensei    ABR = "sensei-mpc"
+)
+
+// AllABRs returns every fleet-selectable algorithm, in mix order.
+func AllABRs() []ABR { return []ABR{ABRRateBased, ABRBOLA, ABRMPC, ABRSensei} }
+
+// NewAlgorithm builds a fresh algorithm instance for one session. Each
+// session gets its own instance so per-session planner state never aliases
+// across goroutines.
+func NewAlgorithm(a ABR) (player.Algorithm, error) {
+	switch a {
+	case ABRRateBased:
+		return abr.NewRateRule(), nil
+	case ABRBOLA:
+		return abr.NewBOLA(), nil
+	case ABRMPC:
+		return abr.NewFugu(), nil
+	case ABRSensei:
+		return abr.NewSenseiFugu(), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown abr %q (want %v)", a, AllABRs())
+}
+
+// Config describes a fleet run: the origin's catalog and traces, plus the
+// session mix. Session k's video/trace/abr/timescale slot is a pure
+// function of k — the full cross product of the four mix dimensions is
+// walked with a coprime stride (see assign), so every combination is
+// covered and no dimension is confounded with another. Zero values pick
+// production-ish defaults documented per field.
+type Config struct {
+	// Sessions is the fleet size (required, ≥ 1).
+	Sessions int
+	// Videos is the origin catalog; the mix spreads sessions across it.
+	Videos []*video.Video
+	// Traces are the origin's named throughput traces; the mix iterates
+	// them in sorted-name order.
+	Traces map[string]*trace.Trace
+	// ABRs is the algorithm mix (default AllABRs()).
+	ABRs []ABR
+	// TimeScales is the wall-clock compression mix (default {0.02}).
+	TimeScales []float64
+	// Workers bounds concurrently running sessions; 0 runs the whole fleet
+	// concurrently (sessions spend most wall time sleeping on shaped
+	// transfers, so the bound is about file descriptors and scheduler
+	// pressure, not CPU).
+	Workers int
+	// MaxBufferSec caps each client's playback buffer (0 = dash default).
+	MaxBufferSec float64
+	// Profile computes sensitivity weights on first manifest request; nil
+	// serves weightless manifests (sensitivity-aware ABRs then plan
+	// unweighted).
+	Profile origin.ProfileFunc
+	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
+	// default).
+	SessionIdleTimeout time.Duration
+	// Logf receives origin log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// KeepOutcomes retains the per-session outcome rows on the report
+	// (they are always collected; this controls whether Report.Outcomes is
+	// populated — large fleets may not want N rows in a JSON report).
+	KeepOutcomes bool
+}
+
+// assignment is the session mix slot for one index.
+type assignment struct {
+	video     *video.Video
+	trace     string
+	abr       ABR
+	timeScale float64
+}
+
+func (c *Config) validate() error {
+	if c.Sessions < 1 {
+		return fmt.Errorf("fleet: need at least one session, got %d", c.Sessions)
+	}
+	if len(c.Videos) == 0 {
+		return fmt.Errorf("fleet: no videos configured")
+	}
+	if len(c.Traces) == 0 {
+		return fmt.Errorf("fleet: no traces configured")
+	}
+	for _, a := range c.ABRs {
+		if _, err := NewAlgorithm(a); err != nil {
+			return err
+		}
+	}
+	for _, ts := range c.TimeScales {
+		if ts <= 0 {
+			return fmt.Errorf("fleet: invalid timescale %v", ts)
+		}
+	}
+	return nil
+}
+
+// traceNames returns the trace mix in deterministic (sorted) order.
+func (c *Config) traceNames() []string {
+	names := make([]string, 0, len(c.Traces))
+	for name := range c.Traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// assign is the pure session-index → mix-slot function. It walks the full
+// video×trace×abr×timescale cross product with a stride coprime to its
+// size: any window of (product-size) sessions covers every combination
+// exactly once, and — unlike naive per-dimension round-robin — no dimension
+// is confounded with another. (With 4 ABRs and 2 traces, shared-modulus
+// round-robin pins each ABR to one trace forever, which silently turns the
+// per-ABR cohort comparison into a trace comparison.)
+func (c *Config) assign(k int, traceNames []string, abrs []ABR, scales []float64) assignment {
+	nV, nT, nA, nS := len(c.Videos), len(traceNames), len(abrs), len(scales)
+	m := nV * nT * nA * nS
+	idx := (k % m) * mixStride(m) % m
+	a := assignment{video: c.Videos[idx%nV]}
+	idx /= nV
+	a.trace = traceNames[idx%nT]
+	idx /= nT
+	a.abr = abrs[idx%nA]
+	idx /= nA
+	a.timeScale = scales[idx%nS]
+	return a
+}
+
+// mixStride returns a multiplier coprime with m near the golden-ratio
+// fraction of m, so k*stride mod m is a low-discrepancy permutation of the
+// mix space.
+func mixStride(m int) int {
+	if m <= 2 {
+		return 1
+	}
+	s := int(float64(m)*0.6180339887) | 1
+	for gcd(s, m) != 1 {
+		s += 2
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Run executes the fleet against a freshly started origin server on a
+// loopback listener and returns the aggregate report. Individual session
+// failures are recorded as outcomes (and fail reconciliation), not returned
+// as errors; Run errors only when the harness itself cannot run (bad
+// config, origin start failure, unreadable /stats).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	abrs := cfg.ABRs
+	if len(abrs) == 0 {
+		abrs = AllABRs()
+	}
+	scales := cfg.TimeScales
+	if len(scales) == 0 {
+		scales = []float64{0.02}
+	}
+	traceNames := cfg.traceNames()
+
+	maxSessions := origin.DefaultMaxSessions
+	if cfg.Sessions > maxSessions {
+		maxSessions = cfg.Sessions
+	}
+	o, err := origin.New(origin.Config{
+		Catalog:            cfg.Videos,
+		Profile:            cfg.Profile,
+		Traces:             cfg.Traces,
+		DefaultTrace:       traceNames[0],
+		TimeScale:          scales[0],
+		SessionIdleTimeout: cfg.SessionIdleTimeout,
+		MaxSessions:        maxSessions,
+		Logf:               cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := origin.NewServer(o)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		o.Close()
+		return nil, err
+	}
+	defer func() { _ = srv.Close() }()
+	base := "http://" + addr
+
+	workers := cfg.Workers
+	if workers <= 0 || workers > cfg.Sessions {
+		workers = cfg.Sessions
+	}
+	// One shared transport sized to the concurrency: http.DefaultClient
+	// keeps only 2 idle connections per host, so a fleet on it re-dials
+	// TCP for almost every segment — churn that inflates the per-request
+	// overhead the parity tolerance budgets for.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers + 4,
+		MaxIdleConnsPerHost: workers + 4,
+	}}
+	defer httpc.CloseIdleConnections()
+
+	outcomes := make([]SessionOutcome, cfg.Sessions)
+	start := time.Now()
+	// Workers always return nil: a failed session is a data point the
+	// report must show, not a reason to abort the rest of the fleet.
+	_ = par.ForEachN(cfg.Sessions, workers, func(k int) error {
+		a := cfg.assign(k, traceNames, abrs, scales)
+		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a)
+		return nil
+	})
+	elapsed := time.Since(start)
+
+	// Read the ledger over the wire, like any external monitor would.
+	st, err := fetchStats(ctx, httpc, base)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(outcomes, st, elapsed, cfg.KeepOutcomes), nil
+}
+
+// runSession streams one fleet slot end to end and captures its outcome.
+func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment) SessionOutcome {
+	out := SessionOutcome{
+		Index:     k,
+		Video:     a.video.Name,
+		Trace:     a.trace,
+		ABR:       string(a.abr),
+		TimeScale: a.timeScale,
+	}
+	alg, err := NewAlgorithm(a.abr)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	c := &dash.Client{
+		BaseURL:      base,
+		Algorithm:    alg,
+		Trace:        a.trace,
+		TimeScale:    a.timeScale,
+		HTTP:         httpc,
+		MaxBufferSec: maxBufferSec,
+	}
+	sess, err := c.Stream(ctx, a.video)
+	if err != nil {
+		out.Err = err.Error()
+		// Free the half-open session so the reconciliation failure reads
+		// as "session N failed", not also as a leaked registry entry.
+		_ = c.Leave(context.WithoutCancel(ctx))
+		return out
+	}
+	out.SessionID = sess.ID
+	out.Rungs = sess.Rendering.Rungs
+	out.BytesDownloaded = sess.BytesDownloaded
+	out.Segments = len(sess.Rendering.Rungs)
+	out.RebufferSec = sess.RebufferVirtualSec
+	out.DownloadSec = sess.DownloadVirtualSec
+	if sess.DownloadVirtualSec > 0 {
+		out.ThroughputBps = float64(sess.BytesDownloaded*8) / sess.DownloadVirtualSec
+	}
+	out.QoE = abr.SessionQoE(sess.Rendering)
+	out.TrueQoE = mos.TrueQoE(sess.Rendering)
+	if sess.Weights != nil {
+		out.HasWeights = true
+		out.WeightedQoE = abr.WeightedSessionQoE(sess.Rendering, sess.Weights)
+	}
+	// Leave with cancellation stripped: a fleet deadline firing between a
+	// session's last segment and its hang-up must not turn a completed
+	// session into a spurious ledger mismatch (the client's own
+	// RequestTimeout still bounds the call).
+	if err := c.Leave(context.WithoutCancel(ctx)); err != nil {
+		out.Err = fmt.Sprintf("leave: %v", err)
+	}
+	return out
+}
+
+// fetchStats reads the origin's /stats ledger over HTTP. The caller's
+// cancellation is stripped — a fleet that timed out still needs its report —
+// but the detached request gets its own bound so a wedged origin (the class
+// of bug this harness hunts) cannot hang Run forever.
+func fetchStats(ctx context.Context, httpc *http.Client, base string) (origin.Stats, error) {
+	var st origin.Stats
+	reqCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return st, fmt.Errorf("fleet: stats request: %w", err)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("fleet: fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return st, fmt.Errorf("fleet: fetching stats: %s: %s", resp.Status, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("fleet: decoding stats: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// excerptOf cuts a short clip of a catalog video for fast tests.
+func excerptOf(t testing.TB, name string, chunks int) *video.Video {
+	t.Helper()
+	full, err := video.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// flatTraces builds named constant-rate traces.
+func flatTraces(bps map[string]float64) map[string]*trace.Trace {
+	out := make(map[string]*trace.Trace, len(bps))
+	for name, rate := range bps {
+		out[name] = &trace.Trace{Name: name, BitsPerSecond: []float64{rate}}
+	}
+	return out
+}
+
+// testCatalog is the standard 4-video test mix.
+func testCatalog(t testing.TB, chunks int) []*video.Video {
+	return []*video.Video{
+		excerptOf(t, "Soccer1", chunks),
+		excerptOf(t, "Tank", chunks),
+		excerptOf(t, "Mountain", chunks),
+		excerptOf(t, "Lava", chunks),
+	}
+}
+
+// fleetScale compresses wall-clock aggressively in normal runs and gently
+// under the race detector (instrumented HTTP overhead would otherwise
+// dominate the shaped transfer times). Per-request protocol overhead is
+// divided by the scale when it becomes virtual seconds, and a whole fleet
+// shares the scheduler, so the compression stays an order of magnitude
+// gentler than the single-session e2e tests use.
+func fleetScale() float64 {
+	if raceEnabled {
+		return 0.15
+	}
+	return 0.05
+}
+
+// TestFleetRun is the tentpole test: a mixed fleet — 4 videos × 2 traces ×
+// all 4 ABRs × 2 timescales — against one origin, fully concurrent, with
+// the aggregate report reconciling exactly against the origin's /stats
+// ledger.
+func TestFleetRun(t *testing.T) {
+	sessions := 32
+	if testing.Short() {
+		sessions = 12
+	}
+	scale := fleetScale()
+	cfg := Config{
+		Sessions: sessions,
+		Videos:   testCatalog(t, 5),
+		Traces: flatTraces(map[string]float64{
+			"fast": 3.2e7, // 32 Mbps
+			"slow": 2e6,   // 2 Mbps
+		}),
+		TimeScales:   []float64{scale, scale * 2},
+		Profile:      func(v *video.Video) ([]float64, error) { return v.TrueSensitivity(), nil },
+		KeepOutcomes: true,
+	}
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 {
+		t.Fatalf("%d sessions failed:\n%s", report.Failed, report.Render())
+	}
+	if !report.Reconciliation.Ok {
+		t.Fatalf("ledgers did not reconcile:\n%s", report.Render())
+	}
+	if report.Sessions != sessions || len(report.Outcomes) != sessions {
+		t.Fatalf("report covers %d sessions (outcomes %d), want %d",
+			report.Sessions, len(report.Outcomes), sessions)
+	}
+
+	// Every mix dimension must actually have been exercised.
+	if len(report.ByABR) != len(AllABRs()) {
+		t.Fatalf("ABR cohorts %v, want all of %v", report.ByABR, AllABRs())
+	}
+	if len(report.ByTrace) != 2 {
+		t.Fatalf("trace cohorts %v", report.ByTrace)
+	}
+	for name, c := range report.ByABR {
+		if c.Sessions == 0 || c.Failed > 0 {
+			t.Fatalf("ABR cohort %s: %+v", name, c)
+		}
+	}
+
+	// Percentiles are ordered and throughput cohorts see shaper isolation:
+	// the fast trace cohort must observe clearly more bandwidth.
+	if report.RebufferSec.P50 > report.RebufferSec.P95 || report.RebufferSec.P95 > report.RebufferSec.P99 {
+		t.Fatalf("rebuffer percentiles out of order: %+v", report.RebufferSec)
+	}
+	if report.ThroughputMbps.P50 > report.ThroughputMbps.P95 || report.ThroughputMbps.P95 > report.ThroughputMbps.P99 {
+		t.Fatalf("throughput percentiles out of order: %+v", report.ThroughputMbps)
+	}
+	fast, slow := report.ByTrace["fast"], report.ByTrace["slow"]
+	if fast.MeanThroughputMbps < 1.5*slow.MeanThroughputMbps {
+		t.Fatalf("no shaper isolation across the fleet: fast %.2f Mbps, slow %.2f Mbps",
+			fast.MeanThroughputMbps, slow.MeanThroughputMbps)
+	}
+
+	// The exact-ledger acceptance: client sums equal the origin's counters.
+	if report.Origin.BytesServed != report.BytesDownloaded {
+		t.Fatalf("bytes: origin %d, fleet %d", report.Origin.BytesServed, report.BytesDownloaded)
+	}
+	if report.Origin.SegmentsServed != report.SegmentsDownloaded {
+		t.Fatalf("segments: origin %d, fleet %d", report.Origin.SegmentsServed, report.SegmentsDownloaded)
+	}
+
+	// The report must render (smoke for the CLI path).
+	if out := report.Render(); !strings.Contains(out, "reconciled exactly") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestFleetMixAssignment pins the pure index→slot function: deterministic,
+// covering the whole cross product with no dimension confounded with
+// another (shared-modulus round-robin would pin each ABR to one trace).
+func TestFleetMixAssignment(t *testing.T) {
+	cfg := Config{
+		Videos:     testCatalog(t, 4),
+		Traces:     flatTraces(map[string]float64{"a": 1e6, "b": 2e6, "c": 3e6}),
+		ABRs:       AllABRs(),
+		TimeScales: []float64{0.01, 0.02},
+	}
+	names := cfg.traceNames()
+	product := len(cfg.Videos) * len(names) * len(cfg.ABRs) * len(cfg.TimeScales)
+	type combo struct {
+		video, trace string
+		abr          ABR
+		scale        float64
+	}
+	seen := map[combo]int{}
+	abrTrace := map[string]bool{}
+	for k := 0; k < product; k++ {
+		a := cfg.assign(k, names, cfg.ABRs, cfg.TimeScales)
+		b := cfg.assign(k, names, cfg.ABRs, cfg.TimeScales)
+		if a != b {
+			t.Fatalf("assignment %d not deterministic: %+v vs %+v", k, a, b)
+		}
+		seen[combo{a.video.Name, a.trace, a.abr, a.timeScale}]++
+		abrTrace[string(a.abr)+"/"+a.trace] = true
+	}
+	// One full window covers every combination exactly once...
+	if len(seen) != product {
+		t.Fatalf("%d distinct combos in a window of %d", len(seen), product)
+	}
+	// ...so in particular every ABR runs on every trace.
+	if want := len(cfg.ABRs) * len(names); len(abrTrace) != want {
+		t.Fatalf("abr×trace pairs covered: %d of %d (cohorts are confounded)", len(abrTrace), want)
+	}
+	// The window then repeats, keeping marginals balanced at any fleet size
+	// that is a multiple of the window.
+	next := cfg.assign(product, names, cfg.ABRs, cfg.TimeScales)
+	first := cfg.assign(0, names, cfg.ABRs, cfg.TimeScales)
+	if next != first {
+		t.Fatalf("window does not repeat: %+v vs %+v", next, first)
+	}
+}
+
+// TestFleetCanceledContext aborts a fleet mid-run; the harness must return
+// a report (not hang or error out) with the failures recorded and the
+// reconciliation honestly failing.
+func TestFleetCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := Config{
+		Sessions: 8,
+		Videos:   testCatalog(t, 5),
+		// Slow enough that no session completes within the context budget.
+		Traces:     flatTraces(map[string]float64{"slow": 1e6}),
+		TimeScales: []float64{0.5},
+	}
+	report, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed == 0 {
+		t.Fatal("canceled fleet reported no failures")
+	}
+	if report.Reconciliation.Ok {
+		t.Fatal("reconciliation passed despite failed sessions")
+	}
+	if len(report.Reconciliation.Problems) == 0 {
+		t.Fatal("no reconciliation problems listed")
+	}
+}
+
+// TestFleetConfigValidation rejects unrunnable configs.
+func TestFleetConfigValidation(t *testing.T) {
+	videos := testCatalog(t, 4)
+	traces := flatTraces(map[string]float64{"f": 1e9})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no sessions", Config{Videos: videos, Traces: traces}},
+		{"no videos", Config{Sessions: 1, Traces: traces}},
+		{"no traces", Config{Sessions: 1, Videos: videos}},
+		{"bad abr", Config{Sessions: 1, Videos: videos, Traces: traces, ABRs: []ABR{"nope"}}},
+		{"bad timescale", Config{Sessions: 1, Videos: videos, Traces: traces, TimeScales: []float64{-1}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestFleetBoundedWorkers runs more sessions than workers; the bound must
+// not deadlock or skew the ledger.
+func TestFleetBoundedWorkers(t *testing.T) {
+	report, err := Run(context.Background(), Config{
+		Sessions:   9,
+		Workers:    3,
+		Videos:     testCatalog(t, 4),
+		Traces:     flatTraces(map[string]float64{"f": 2e7}),
+		TimeScales: []float64{fleetScale()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 || !report.Reconciliation.Ok {
+		t.Fatalf("bounded-worker fleet:\n%s", report.Render())
+	}
+}
+
+// BenchmarkFleet measures whole-fleet throughput (sessions per second of
+// harness wall clock) on a small mixed workload with shaping effectively
+// disabled, so the number tracks harness + client + origin overhead rather
+// than trace replay.
+func BenchmarkFleet(b *testing.B) {
+	catalog := testCatalog(b, 4)
+	traces := flatTraces(map[string]float64{"f": 1e9})
+	const sessions = 16
+	b.ResetTimer()
+	var totalSessions float64
+	for i := 0; i < b.N; i++ {
+		report, err := Run(context.Background(), Config{
+			Sessions:   sessions,
+			Videos:     catalog,
+			Traces:     traces,
+			TimeScales: []float64{0.001},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Failed != 0 || !report.Reconciliation.Ok {
+			b.Fatalf("fleet failed:\n%s", report.Render())
+		}
+		totalSessions += float64(report.Sessions)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(totalSessions/sec, "sessions/s")
+	}
+}

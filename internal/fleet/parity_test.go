@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sensei/internal/dash"
+	"sensei/internal/origin"
+	"sensei/internal/player"
+	"sensei/internal/trace"
+	"sensei/internal/video"
+)
+
+// The client/simulator parity contract (see DESIGN.md): dash.Client over a
+// real origin and player.Play over the same video, trace and algorithm
+// must produce the same playback — identical rung sequences and matching
+// stall ledgers — with the only permitted divergence being measurement
+// noise (HTTP/protocol overhead folded into the client's observed download
+// times, bounded by the timescale). A flat trace makes the contract
+// testable end to end: the simulator measures the trace rate exactly, the
+// client measures it within the protocol-overhead margin, and any real
+// divergence in buffer arithmetic, stall accounting or decision plumbing
+// shows up as a rung or stall mismatch.
+
+// parityScale trades wall-clock for measurement fidelity: the shaped
+// transfer must dwarf per-request protocol overhead so the client's
+// throughput samples stay within a few percent of the trace rate.
+func parityScale() float64 {
+	if raceEnabled {
+		return 0.3
+	}
+	return 0.15
+}
+
+// stallTolerance bounds |client − simulator| total stall in virtual
+// seconds. Client downloads run a few percent long (protocol overhead), so
+// marginal stalls shift by that much per chunk.
+const stallTolerance = 0.5
+
+func testParity(t *testing.T, algName string, newAlg func() player.Algorithm) {
+	t.Helper()
+	scale := parityScale()
+	v := excerptOf(t, "Soccer1", 8)
+	// Flat 2.5 Mbps: enough for mid-ladder rungs with real decision
+	// pressure, slow enough that shaped time dominates protocol overhead.
+	tr := &trace.Trace{Name: "flat", BitsPerSecond: []float64{2.5e6}}
+	weights := v.TrueSensitivity()
+
+	// Simulator run.
+	simRes, err := player.Play(v, tr, newAlg(), weights, player.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Emulated run over a real origin.
+	o, err := origin.New(origin.Config{
+		Catalog:      []*video.Video{v},
+		Profile:      func(*video.Video) ([]float64, error) { return weights, nil },
+		Traces:       map[string]*trace.Trace{"flat": tr},
+		DefaultTrace: "flat",
+		TimeScale:    scale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := origin.NewServer(o)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := &dash.Client{BaseURL: "http://" + addr, Algorithm: newAlg()}
+	sess, err := client.Stream(context.Background(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rung sequences must match chunk for chunk: the decisions depend on
+	// buffer state and throughput history, so a single divergence in
+	// playback arithmetic cascades into different sequences.
+	simRungs := simRes.Rendering.Rungs
+	cliRungs := sess.Rendering.Rungs
+	for i := range simRungs {
+		if simRungs[i] != cliRungs[i] {
+			t.Fatalf("%s rung sequences diverge at chunk %d:\n  simulator %v\n  client    %v",
+				algName, i, simRungs, cliRungs)
+		}
+	}
+
+	// Stall ledgers must match within the measurement-noise tolerance.
+	// The simulator books the first chunk's download as startup delay, not
+	// rebuffering, and so does the client — both ledgers cover chunks ≥ 1.
+	if d := math.Abs(simRes.RebufferSec - sess.RebufferVirtualSec); d > stallTolerance {
+		t.Fatalf("%s stall totals diverge by %.3fs (tolerance %.2f): simulator %.3f, client %.3f",
+			algName, d, stallTolerance, simRes.RebufferSec, sess.RebufferVirtualSec)
+	}
+	// Per-chunk stall placement, not just the total: SENSEI's whole point
+	// is WHERE stalls land.
+	for i := 1; i < len(simRungs); i++ {
+		if d := math.Abs(simRes.Rendering.StallSec[i] - sess.Rendering.StallSec[i]); d > stallTolerance {
+			t.Fatalf("%s stall placement diverges at chunk %d: simulator %.3f, client %.3f",
+				algName, i, simRes.Rendering.StallSec[i], sess.Rendering.StallSec[i])
+		}
+	}
+
+	// The client's throughput observations must hug the flat trace rate —
+	// this is the guard that keeps the tolerance above honest (if the
+	// measurements were off, rung parity would be luck).
+	for i, bps := range sess.ThroughputBps {
+		if bps < 2.5e6*0.8 || bps > 2.5e6*1.2 {
+			t.Fatalf("%s chunk %d measured %.2f Mbps on a flat 2.5 Mbps trace", algName, i, bps/1e6)
+		}
+	}
+}
+
+func TestParityRateBased(t *testing.T) {
+	testParity(t, "RateRule", func() player.Algorithm { return mustAlg(t, ABRRateBased) })
+}
+
+func TestParitySenseiMPC(t *testing.T) {
+	testParity(t, "SENSEI-Fugu", func() player.Algorithm { return mustAlg(t, ABRSensei) })
+}
+
+func mustAlg(t *testing.T, a ABR) player.Algorithm {
+	t.Helper()
+	alg, err := NewAlgorithm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}

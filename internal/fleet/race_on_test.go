@@ -1,0 +1,9 @@
+//go:build race
+
+package fleet
+
+// raceEnabled slows the emulated-time tests under the race detector: its
+// instrumentation overhead breaks the aggressive time compression used in
+// normal runs, so clients miss the shaper's schedule and measurements drown
+// in protocol noise.
+const raceEnabled = true

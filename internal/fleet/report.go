@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sensei/internal/origin"
+	"sensei/internal/stats"
+)
+
+// SessionOutcome is one fleet slot's captured playback result.
+type SessionOutcome struct {
+	// Index is the fleet slot (the mix assignment is a function of it).
+	Index int `json:"index"`
+	// SessionID is the origin-assigned ID ("" when the join itself failed).
+	SessionID string `json:"session_id,omitempty"`
+	// Video, Trace, ABR and TimeScale echo the slot's mix assignment.
+	Video     string  `json:"video"`
+	Trace     string  `json:"trace"`
+	ABR       string  `json:"abr"`
+	TimeScale float64 `json:"timescale"`
+	// Rungs is the delivered per-chunk ladder sequence.
+	Rungs []int `json:"rungs,omitempty"`
+	// BytesDownloaded counts segment payload bytes the client received.
+	BytesDownloaded int64 `json:"bytes_downloaded"`
+	// Segments counts delivered segments.
+	Segments int `json:"segments"`
+	// RebufferSec is total stalled playback in virtual seconds.
+	RebufferSec float64 `json:"rebuffer_sec"`
+	// DownloadSec is time spent downloading, in virtual seconds.
+	DownloadSec float64 `json:"download_sec"`
+	// ThroughputBps is the session's mean observed throughput.
+	ThroughputBps float64 `json:"throughput_bps"`
+	// QoE is the content-blind session kernel; TrueQoE the latent
+	// ground-truth MOS; WeightedQoE the sensitivity-weighted kernel (valid
+	// when HasWeights).
+	QoE         float64 `json:"qoe"`
+	TrueQoE     float64 `json:"true_qoe"`
+	WeightedQoE float64 `json:"weighted_qoe,omitempty"`
+	HasWeights  bool    `json:"has_weights,omitempty"`
+	// Err is the failure, if the session did not complete cleanly.
+	Err string `json:"err,omitempty"`
+}
+
+// Percentiles summarizes a metric's distribution tail.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+func percentilesOf(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		// stats.Percentile panics on empty input; a fleet where every
+		// session failed still needs a report.
+		return Percentiles{}
+	}
+	return Percentiles{
+		P50: stats.Percentile(xs, 0.50),
+		P95: stats.Percentile(xs, 0.95),
+		P99: stats.Percentile(xs, 0.99),
+	}
+}
+
+// Cohort aggregates the sessions sharing one mix dimension value (one ABR,
+// or one trace).
+type Cohort struct {
+	Sessions           int     `json:"sessions"`
+	Failed             int     `json:"failed"`
+	Bytes              int64   `json:"bytes"`
+	MeanQoE            float64 `json:"mean_qoe"`
+	MeanTrueQoE        float64 `json:"mean_true_qoe"`
+	MeanRebufferSec    float64 `json:"mean_rebuffer_sec"`
+	MeanThroughputMbps float64 `json:"mean_throughput_mbps"`
+}
+
+// Reconciliation is the cross-check of the fleet's client-side ledgers
+// against the origin's /stats. Ok demands exact equality — any streamed
+// byte the two sides disagree about is an accounting bug, which is exactly
+// what this harness exists to catch.
+type Reconciliation struct {
+	Ok       bool     `json:"ok"`
+	Problems []string `json:"problems,omitempty"`
+}
+
+// Report is a fleet run's aggregate result.
+type Report struct {
+	Sessions       int     `json:"sessions"`
+	Failed         int     `json:"failed"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// BytesDownloaded / SegmentsDownloaded sum the client-side ledgers.
+	BytesDownloaded    int64 `json:"bytes_downloaded"`
+	SegmentsDownloaded int64 `json:"segments_downloaded"`
+	// RebufferSec and ThroughputMbps summarize completed sessions.
+	RebufferSec    Percentiles `json:"rebuffer_sec"`
+	ThroughputMbps Percentiles `json:"throughput_mbps"`
+	MeanQoE        float64     `json:"mean_qoe"`
+	MeanTrueQoE    float64     `json:"mean_true_qoe"`
+	// ByABR and ByTrace break the fleet down per mix dimension.
+	ByABR   map[string]Cohort `json:"by_abr"`
+	ByTrace map[string]Cohort `json:"by_trace"`
+	// Origin is the server's /stats snapshot after the fleet drained.
+	Origin origin.Stats `json:"origin"`
+	// Reconciliation cross-checks the two ledgers.
+	Reconciliation Reconciliation `json:"reconciliation"`
+	// Outcomes holds the per-session rows when Config.KeepOutcomes is set.
+	Outcomes []SessionOutcome `json:"outcomes,omitempty"`
+}
+
+// buildReport aggregates outcomes and reconciles them against the origin's
+// ledger.
+func buildReport(outcomes []SessionOutcome, st origin.Stats, elapsed time.Duration, keepOutcomes bool) *Report {
+	r := &Report{
+		Sessions:   len(outcomes),
+		ElapsedSec: elapsed.Seconds(),
+		ByABR:      map[string]Cohort{},
+		ByTrace:    map[string]Cohort{},
+		Origin:     st,
+	}
+	if r.ElapsedSec > 0 {
+		r.SessionsPerSec = float64(r.Sessions) / r.ElapsedSec
+	}
+	var rebuf, thrMbps, qoes, trueQoEs []float64
+	type cohortAcc struct {
+		c            Cohort
+		qoe, tq      float64
+		rebuf, thr   float64
+		completedCnt int
+	}
+	accumulate := func(m map[string]*cohortAcc, key string, o *SessionOutcome) {
+		a := m[key]
+		if a == nil {
+			a = &cohortAcc{}
+			m[key] = a
+		}
+		a.c.Sessions++
+		if o.Err != "" {
+			a.c.Failed++
+			return
+		}
+		a.c.Bytes += o.BytesDownloaded
+		a.qoe += o.QoE
+		a.tq += o.TrueQoE
+		a.rebuf += o.RebufferSec
+		a.thr += o.ThroughputBps
+		a.completedCnt++
+	}
+	byABR := map[string]*cohortAcc{}
+	byTrace := map[string]*cohortAcc{}
+	for i := range outcomes {
+		o := &outcomes[i]
+		accumulate(byABR, o.ABR, o)
+		accumulate(byTrace, o.Trace, o)
+		if o.Err != "" {
+			r.Failed++
+			continue
+		}
+		r.BytesDownloaded += o.BytesDownloaded
+		r.SegmentsDownloaded += int64(o.Segments)
+		rebuf = append(rebuf, o.RebufferSec)
+		thrMbps = append(thrMbps, o.ThroughputBps/1e6)
+		qoes = append(qoes, o.QoE)
+		trueQoEs = append(trueQoEs, o.TrueQoE)
+	}
+	finish := func(m map[string]*cohortAcc, dst map[string]Cohort) {
+		for key, a := range m {
+			if a.completedCnt > 0 {
+				n := float64(a.completedCnt)
+				a.c.MeanQoE = a.qoe / n
+				a.c.MeanTrueQoE = a.tq / n
+				a.c.MeanRebufferSec = a.rebuf / n
+				a.c.MeanThroughputMbps = a.thr / n / 1e6
+			}
+			dst[key] = a.c
+		}
+	}
+	finish(byABR, r.ByABR)
+	finish(byTrace, r.ByTrace)
+	r.RebufferSec = percentilesOf(rebuf)
+	r.ThroughputMbps = percentilesOf(thrMbps)
+	r.MeanQoE = stats.Mean(qoes)
+	r.MeanTrueQoE = stats.Mean(trueQoEs)
+	r.Reconciliation = reconcile(outcomes, r, st)
+	if keepOutcomes {
+		r.Outcomes = outcomes
+	}
+	return r
+}
+
+// reconcile asserts the client-side and origin-side ledgers agree exactly.
+func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconciliation {
+	var rec Reconciliation
+	problem := func(format string, args ...any) {
+		rec.Problems = append(rec.Problems, fmt.Sprintf(format, args...))
+	}
+	for i := range outcomes {
+		if outcomes[i].Err != "" {
+			problem("session %d (%s/%s/%s) failed: %s",
+				outcomes[i].Index, outcomes[i].Video, outcomes[i].Trace, outcomes[i].ABR, outcomes[i].Err)
+		}
+	}
+	if st.BytesServed != r.BytesDownloaded {
+		problem("origin served %d bytes, fleet downloaded %d", st.BytesServed, r.BytesDownloaded)
+	}
+	if st.SegmentsServed != r.SegmentsDownloaded {
+		problem("origin served %d segments, fleet downloaded %d", st.SegmentsServed, r.SegmentsDownloaded)
+	}
+	if st.SessionsCreated != int64(r.Sessions) {
+		problem("origin created %d sessions for a fleet of %d", st.SessionsCreated, r.Sessions)
+	}
+	if st.SessionsClosed != int64(r.Sessions) {
+		problem("origin closed %d sessions of %d (leaks or early expiry)", st.SessionsClosed, r.Sessions)
+	}
+	if st.ActiveSessions != 0 {
+		problem("%d sessions still active after the fleet drained", st.ActiveSessions)
+	}
+	var hitSum int64
+	for _, n := range st.VideoHits {
+		hitSum += n
+	}
+	if hitSum != r.SegmentsDownloaded {
+		problem("per-video hits sum to %d, fleet downloaded %d segments", hitSum, r.SegmentsDownloaded)
+	}
+	rec.Ok = len(rec.Problems) == 0
+	return rec
+}
+
+// Render formats the report as a human-readable summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d sessions (%d failed) in %.2fs (%.1f sessions/s)\n",
+		r.Sessions, r.Failed, r.ElapsedSec, r.SessionsPerSec)
+	fmt.Fprintf(&b, "traffic: %.1f MB, %d segments\n",
+		float64(r.BytesDownloaded)/1e6, r.SegmentsDownloaded)
+	fmt.Fprintf(&b, "rebuffer (virtual s): p50 %.2f  p95 %.2f  p99 %.2f\n",
+		r.RebufferSec.P50, r.RebufferSec.P95, r.RebufferSec.P99)
+	fmt.Fprintf(&b, "throughput (Mbps):    p50 %.2f  p95 %.2f  p99 %.2f\n",
+		r.ThroughputMbps.P50, r.ThroughputMbps.P95, r.ThroughputMbps.P99)
+	fmt.Fprintf(&b, "QoE: %.3f mean (kernel), %.3f mean (latent true)\n", r.MeanQoE, r.MeanTrueQoE)
+
+	section := func(title string, cohorts map[string]Cohort) {
+		keys := make([]string, 0, len(cohorts))
+		for k := range cohorts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, k := range keys {
+			c := cohorts[k]
+			fmt.Fprintf(&b, "  %-12s %3d sessions  qoe %6.3f  true %6.3f  rebuf %6.2fs  thr %7.2f Mbps",
+				k, c.Sessions, c.MeanQoE, c.MeanTrueQoE, c.MeanRebufferSec, c.MeanThroughputMbps)
+			if c.Failed > 0 {
+				fmt.Fprintf(&b, "  (%d FAILED)", c.Failed)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	section("by ABR:", r.ByABR)
+	section("by trace:", r.ByTrace)
+
+	if r.Reconciliation.Ok {
+		fmt.Fprintf(&b, "ledger: reconciled exactly with origin /stats (%d bytes, %d segments, %d sessions)\n",
+			r.Origin.BytesServed, r.Origin.SegmentsServed, r.Origin.SessionsCreated)
+	} else {
+		fmt.Fprintf(&b, "ledger: RECONCILIATION FAILED\n")
+		for _, p := range r.Reconciliation.Problems {
+			fmt.Fprintf(&b, "  - %s\n", p)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

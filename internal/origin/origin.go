@@ -22,7 +22,6 @@
 package origin
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -33,6 +32,7 @@ import (
 	"time"
 
 	"sensei/internal/dash"
+	"sensei/internal/par"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -258,12 +258,17 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 
 func (o *Origin) handleLeave(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !o.removeSession(id) {
+	switch o.removeSession(id) {
+	case removeMissing:
 		http.Error(w, fmt.Sprintf("origin: no session %q", id), http.StatusNotFound)
-		return
+	case removeBusy:
+		// Mirror the janitor: an in-flight session is never reaped. 409
+		// tells the client to drain (or abort) its stream and retry.
+		http.Error(w, fmt.Sprintf("origin: session %q has a stream in flight; drain it and retry", id), http.StatusConflict)
+	case removeDone:
+		o.logf("origin: session %s left", id)
+		w.WriteHeader(http.StatusNoContent)
 	}
-	o.logf("origin: session %s left", id)
-	w.WriteHeader(http.StatusNoContent)
 }
 
 // --- data plane ---
@@ -323,11 +328,22 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "origin: segment request without sid (join via POST /session)", http.StatusBadRequest)
 		return
 	}
-	sess, ok := o.lookupSession(sid)
+	// Resolve and mark in-flight atomically: once this request holds the
+	// session, neither DELETE /session nor the janitor can remove it until
+	// the stream drains, so its bytes always land on a registered session.
+	sess, ok := o.lookupSessionStream(sid)
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", sid), http.StatusNotFound)
 		return
 	}
+	inflightHeld := true
+	release := func() {
+		if inflightHeld {
+			inflightHeld = false
+			sess.inflight.Add(-1)
+		}
+	}
+	defer release()
 	if sess.videoName != v.Name {
 		http.Error(w, fmt.Sprintf("origin: session %s is pinned to %q, not %q", sid, sess.videoName, v.Name), http.StatusConflict)
 		return
@@ -339,8 +355,6 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size := int(v.ChunkSizeBits(chunk, rung) / 8)
-	sess.inflight.Add(1)
-	defer sess.inflight.Add(-1)
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.Itoa(size))
 
@@ -357,7 +371,7 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		if remaining < n {
 			n = remaining
 		}
-		if !sleepCtx(ctx, sess.shaper.Throttle(n)) {
+		if !par.Sleep(ctx, sess.shaper.Throttle(n)) {
 			return // client went away mid-throttle
 		}
 		// A long shaped transfer is activity: keep the janitor away.
@@ -369,6 +383,11 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 			sess.segments.Add(1)
 			o.segmentsServed.Add(1)
 			o.videoHit(v.Name)
+			// The moment the final slice hits the socket the client may
+			// observe the transfer complete and immediately DELETE the
+			// session; the in-flight mark must already be gone by then or
+			// a clean hang-up races into a spurious 409.
+			release()
 		}
 		if _, err := w.Write(segmentPattern[:n]); err != nil {
 			return // client went away
@@ -376,27 +395,6 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
-	}
-}
-
-// sleepCtx sleeps for d unless ctx is canceled first; it reports whether
-// the full sleep completed.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	if d <= 0 {
-		select {
-		case <-ctx.Done():
-			return false
-		default:
-			return true
-		}
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
 	}
 }
 

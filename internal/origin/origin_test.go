@@ -456,6 +456,105 @@ func TestServerSurvivesClientAbort(t *testing.T) {
 	}
 }
 
+// TestDeleteSessionMidStream pins DELETE /session to the janitor's rule: a
+// session with a segment stream in flight is refused with 409 (the old
+// handler deleted it, so a live stream kept crediting bytes to a session
+// that /stats no longer knew about). After the stream drains the DELETE
+// succeeds and the byte/segment ledgers reconcile exactly.
+func TestDeleteSessionMidStream(t *testing.T) {
+	v := excerptOf(t, "Soccer1", 4)
+	// Slow enough that the download comfortably outlives the mid-stream
+	// DELETE: the top rung is ~11 Mb, which at 2 Mbps is ~5.7 virtual
+	// seconds — a few hundred wall milliseconds at this scale.
+	srv, base := startOrigin(t, Config{
+		Catalog:      []*video.Video{v},
+		Traces:       flatTraces(map[string]float64{"f": 2e6}),
+		DefaultTrace: "f",
+		TimeScale:    0.05,
+	})
+	resp, body := postJSON(t, base+"/session", JoinRequest{Video: v.Name})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %s: %s", resp.Status, body)
+	}
+	var jr JoinResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	del := func() *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, base+"/session/"+jr.SessionID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	want := int(v.ChunkSizeBits(0, len(v.Ladder)-1) / 8)
+	type result struct {
+		n   int
+		err error
+	}
+	got := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("%s/v/%s/segment/0/%d?sid=%s", base, v.Name, len(v.Ladder)-1, jr.SessionID))
+		if err != nil {
+			close(started)
+			got <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		close(started) // headers received: the stream is in flight
+		data, err := io.ReadAll(resp.Body)
+		got <- result{len(data), err}
+	}()
+	<-started
+
+	// Mid-stream: the session must refuse to die.
+	if resp := del(); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mid-stream DELETE: %s, want 409", resp.Status)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("stream after refused DELETE: %v", r.err)
+	}
+	if r.n != want {
+		t.Fatalf("stream truncated: %d of %d bytes", r.n, want)
+	}
+
+	// Session-ledger vs bytes_served consistency: every streamed byte is on
+	// a registered session's row.
+	st := srv.Origin().Stats()
+	if st.ActiveSessions != 1 || len(st.Sessions) != 1 {
+		t.Fatalf("session vanished mid-stream: %+v", st)
+	}
+	if st.Sessions[0].Bytes != int64(want) || st.BytesServed != int64(want) {
+		t.Fatalf("ledger mismatch: session row %d, bytes_served %d, want %d",
+			st.Sessions[0].Bytes, st.BytesServed, want)
+	}
+	if st.Sessions[0].Segments != 1 || st.SegmentsServed != 1 {
+		t.Fatalf("segment ledger mismatch: %+v", st)
+	}
+
+	// Drained: now the DELETE goes through and the global ledger survives.
+	if resp := del(); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post-drain DELETE: %s, want 204", resp.Status)
+	}
+	st = srv.Origin().Stats()
+	if st.ActiveSessions != 0 || st.SessionsClosed != 1 {
+		t.Fatalf("post-delete stats: %+v", st)
+	}
+	if st.BytesServed != int64(want) || st.SegmentsServed != 1 {
+		t.Fatalf("post-delete ledger: %+v", st)
+	}
+}
+
 // TestClientLadderValidation streams against an origin whose catalog video
 // disagrees with the client's local model.
 func TestClientLadderValidation(t *testing.T) {

@@ -74,16 +74,50 @@ func (o *Origin) lookupSession(id string) (*session, bool) {
 	return s, ok
 }
 
-// removeSession deletes a session (client hang-up via DELETE /session).
-func (o *Origin) removeSession(id string) bool {
+// lookupSessionStream resolves a session and marks a stream in flight while
+// still holding the registry lock, so a concurrent DELETE (or the janitor)
+// can never observe inflight==0 between the lookup and the increment. The
+// caller must decrement s.inflight when the stream drains.
+func (o *Origin) lookupSessionStream(id string) (*session, bool) {
+	o.mu.Lock()
+	s, ok := o.sessions[id]
+	if ok {
+		s.inflight.Add(1)
+	}
+	o.mu.Unlock()
+	if ok {
+		s.touch(time.Now())
+	}
+	return s, ok
+}
+
+// removeOutcome is removeSession's tri-state result.
+type removeOutcome int
+
+const (
+	removeMissing removeOutcome = iota // no such session
+	removeBusy                         // session has a stream in flight
+	removeDone                         // session deleted
+)
+
+// removeSession deletes a session (client hang-up via DELETE /session). A
+// session with a segment stream in flight is refused — the same rule the
+// janitor's expireIdle applies — so the byte/segment ledgers of a live
+// stream always land on a registered session and /stats stays consistent
+// with bytes_served.
+func (o *Origin) removeSession(id string) removeOutcome {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if _, ok := o.sessions[id]; !ok {
-		return false
+	s, ok := o.sessions[id]
+	if !ok {
+		return removeMissing
+	}
+	if s.inflight.Load() > 0 {
+		return removeBusy
 	}
 	delete(o.sessions, id)
 	o.sessionsClosed.Add(1)
-	return true
+	return removeDone
 }
 
 // expireIdle removes sessions idle longer than the configured timeout and

@@ -1,5 +1,6 @@
-// Package par is the bounded-parallelism substrate of the experiment lab:
-// a deterministic fork-join loop over an index space.
+// Package par is the bounded-parallelism substrate of the experiment lab —
+// a deterministic fork-join loop over an index space — plus the emulation
+// layer's shared context-aware Sleep.
 //
 // The determinism contract used throughout SENSEI is that parallel code
 // must produce bit-identical results regardless of worker count, machine,
@@ -19,10 +20,31 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Sleep pauses for d unless ctx is canceled first and reports whether the
+// full sleep completed. It is the shared context-aware sleep of the
+// emulation layer — the origin's shaped segment writes and the DASH
+// client's buffer-full waits both pace wall clock with it, and a wall-clock
+// sleep must never outlive the request or stream it serves.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // ForEach runs fn(i) for every i in [0, n), fanning the indices across up
 // to GOMAXPROCS goroutines, and waits for all of them. On failure the

@@ -31,9 +31,12 @@
 package sensei
 
 import (
+	"context"
+
 	"sensei/internal/abr"
 	"sensei/internal/crowd"
 	"sensei/internal/dash"
+	"sensei/internal/fleet"
 	"sensei/internal/mos"
 	"sensei/internal/origin"
 	"sensei/internal/player"
@@ -254,3 +257,36 @@ func NewDASHShaper(tr *Trace, timeScale float64) (*DASHShaper, error) {
 // BuildMPD renders the manifest for a video, embedding weights when
 // non-nil.
 func BuildMPD(v *Video, weights []float64) (*MPD, error) { return dash.BuildMPD(v, weights) }
+
+// Fleet harness: drive N concurrent DASH clients — a deterministic mix of
+// videos, traces, timescales and ABR algorithms — against one origin, and
+// get an aggregate report whose client-side ledgers are reconciled exactly
+// against the origin's /stats. This is the production-scale workload
+// generator: run it to validate client/simulator parity under concurrency,
+// compare ABR cohorts, or load-test the origin. See cmd/fleetsim.
+type (
+	// FleetConfig describes a fleet run (size, mix, workers).
+	FleetConfig = fleet.Config
+	// FleetReport is the aggregate outcome with percentiles, per-ABR and
+	// per-trace cohorts, and the ledger reconciliation.
+	FleetReport = fleet.Report
+	// FleetOutcome is one session's captured result.
+	FleetOutcome = fleet.SessionOutcome
+	// FleetABR names a fleet-selectable adaptation algorithm.
+	FleetABR = fleet.ABR
+)
+
+// The ABR algorithms a fleet can mix.
+const (
+	FleetRateBased = fleet.ABRRateBased
+	FleetBOLA      = fleet.ABRBOLA
+	FleetMPC       = fleet.ABRMPC
+	FleetSensei    = fleet.ABRSensei
+)
+
+// RunFleet executes a streaming fleet against a freshly started loopback
+// origin and returns the aggregate report. Session failures are recorded
+// in the report (and fail its reconciliation), not returned as errors.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetReport, error) {
+	return fleet.Run(ctx, cfg)
+}

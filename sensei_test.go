@@ -151,3 +151,36 @@ func TestPublicAPIDASH(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIFleet(t *testing.T) {
+	catalog := make([]*sensei.Video, 0, 2)
+	for _, name := range []string{"Soccer1", "Tank"} {
+		v, err := sensei.VideoByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clip, err := v.Excerpt(0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		catalog = append(catalog, clip)
+	}
+	tr := sensei.GenerateTrace(sensei.TraceSpec{Name: "f", Kind: sensei.TraceFCC, MeanBps: 2e7, Seconds: 300, Seed: 9})
+	report, err := sensei.RunFleet(context.Background(), sensei.FleetConfig{
+		Sessions:   6,
+		Videos:     catalog,
+		Traces:     map[string]*sensei.Trace{"f": tr},
+		ABRs:       []sensei.FleetABR{sensei.FleetRateBased, sensei.FleetSensei},
+		TimeScales: []float64{0.05},
+		Profile:    func(v *sensei.Video) ([]float64, error) { return v.TrueSensitivity(), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 || !report.Reconciliation.Ok {
+		t.Fatalf("fleet did not reconcile:\n%s", report.Render())
+	}
+	if report.Origin.BytesServed != report.BytesDownloaded {
+		t.Fatalf("ledger mismatch: origin %d, fleet %d", report.Origin.BytesServed, report.BytesDownloaded)
+	}
+}
