@@ -5,7 +5,14 @@
 //
 // Sensitivity weights are profiled lazily — at most once per video, on the
 // first manifest request — and persisted under -weightdir so a restarted
-// origin starts instantly.
+// origin starts instantly. They are a live, versioned plane: every profile
+// carries an epoch (persisted, survives restarts), segment responses
+// advertise the current epoch via X-Sensei-Weight-Epoch, clients re-fetch
+// GET /weights?sid=... when it advances, and POST /refresh re-profiles a
+// chunk window and publishes the result as the next epoch — active
+// sessions pick it up within one segment, mid-stream:
+//
+//	curl -X POST localhost:8428/refresh -d '{"video":"Soccer1","from":10,"to":16}'
 //
 // Usage:
 //
@@ -14,8 +21,8 @@
 //	           [-idle 2m]
 //
 // Endpoints: POST /session, GET /v/<video>/manifest.mpd,
-// GET /v/<video>/segment/<chunk>/<rung>?sid=..., DELETE /session/<id>,
-// GET /stats.
+// GET /v/<video>/segment/<chunk>/<rung>?sid=..., GET /weights?sid=...,
+// POST /refresh, DELETE /session/<id>, GET /stats.
 package main
 
 import (
@@ -132,6 +139,9 @@ func main() {
 	}
 	fmt.Printf("traces on offer: %s\n", strings.Join(names, ", "))
 	fmt.Println("join: POST /session {\"video\":..., \"trace\":...}; stats: GET /stats")
+	if *profile {
+		fmt.Println("live refresh: POST /refresh {\"video\":..., \"from\":..., \"to\":...} re-profiles a chunk window and bumps the weight epoch mid-stream")
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -10,16 +10,19 @@
 //
 //	fleetsim [-sessions 64] [-videos Soccer1,Tank,Mountain,Lava] [-excerpt 8]
 //	         [-abrs ratebased,bola,mpc,sensei-mpc] [-traces fast=32,slow=4]
-//	         [-timescales 0.05] [-workers 0] [-timeout 0] [-noweights]
-//	         [-json] [-outcomes] [-v]
+//	         [-timescales 0.05] [-workers 0] [-timeout 0] [-refresh 0]
+//	         [-noweights] [-json] [-outcomes] [-v]
 //
 // -traces lists flat traces as name=Mbps pairs; -timescales is the
 // wall-clock compression mix. Sessions walk the full video×trace×abr×
 // timescale cross product with a coprime stride, so every combination is
 // covered and cohorts are never confounded with each other.
 // -workers bounds concurrently running sessions (0 = whole fleet at once).
-// -timeout bounds the whole run (0 = none). -json emits the report as JSON
-// (with per-session rows under -outcomes) instead of text.
+// -timeout bounds the whole run (0 = none). -refresh schedules a mid-run
+// catalog-wide sensitivity refresh (live-plane scenario): the report gains
+// per-epoch QoE cohorts and reconciliation fails unless every session
+// still streaming converged on the new epoch. -json emits the report as
+// JSON (with per-session rows under -outcomes) instead of text.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	timescales := flag.String("timescales", "0.05", "comma-separated wall-clock compression mix")
 	workers := flag.Int("workers", 0, "max concurrently running sessions (0 = all)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = none)")
+	refresh := flag.Duration("refresh", 0, "publish a catalog-wide weight refresh this long after every session joined (0 = none); the run fails unless every session converges on the new epoch")
 	noWeights := flag.Bool("noweights", false, "serve weightless manifests (skip sensitivity profiling)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	outcomes := flag.Bool("outcomes", false, "include per-session rows in the JSON report")
@@ -96,6 +100,14 @@ func main() {
 
 	if !*noWeights {
 		cfg.Profile = func(v *sensei.Video) ([]float64, error) { return v.TrueSensitivity(), nil }
+	}
+	if *refresh > 0 {
+		// The refreshed belief: true sensitivity reversed — valid weights,
+		// maximally different plans for sensitivity-aware ABRs.
+		cfg.Refresh = &fleet.RefreshSpec{
+			After:   *refresh,
+			Weights: fleet.ReversedSensitivity,
+		}
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }

@@ -43,6 +43,7 @@ type benchReport struct {
 	Planner        plannerBench       `json:"planner"`
 	Origin         originBench        `json:"origin"`
 	Fleet          fleetBench         `json:"fleet"`
+	Refresh        refreshBench       `json:"refresh"`
 	ExperimentSec  map[string]float64 `json:"experiment_sec"`
 	TotalSec       float64            `json:"total_sec"`
 	ExperimentList []string           `json:"experiment_list"`
@@ -117,6 +118,61 @@ func originMicroBench() (originBench, error) {
 		SegmentsPerSec: iters / elapsed,
 		MBPerSec:       float64(iters) * float64(h.SegmentBytes) / 1e6 / elapsed,
 	}, nil
+}
+
+// refreshBench measures the live sensitivity plane's control-plane
+// latencies: publishing a new profile epoch on a warm weight service
+// (atomic swap + waiter release + disk persist) and taking a reader-side
+// snapshot — the per-decision cost every ABR consumer pays.
+type refreshBench struct {
+	PublishNsPerOp  float64 `json:"publish_ns_per_op"`
+	SnapshotNsPerOp float64 `json:"snapshot_ns_per_op"`
+}
+
+// refreshMicroBench exercises origin.WeightService directly, persistence
+// included, mirroring BenchmarkWeightRefresh.
+func refreshMicroBench() (refreshBench, error) {
+	dir, err := os.MkdirTemp("", "sensei-refresh-bench-")
+	if err != nil {
+		return refreshBench{}, err
+	}
+	defer os.RemoveAll(dir)
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		return refreshBench{}, err
+	}
+	v, err := full.Excerpt(0, 8)
+	if err != nil {
+		return refreshBench{}, err
+	}
+	svc := origin.NewWeightService(dir, func(vv *video.Video) ([]float64, error) {
+		return vv.TrueSensitivity(), nil
+	}, nil)
+	if _, err := svc.Get(v); err != nil {
+		return refreshBench{}, err
+	}
+	w := v.TrueSensitivity()
+
+	const publishes = 200
+	start := time.Now()
+	for i := 0; i < publishes; i++ {
+		if _, err := svc.Publish(v, w); err != nil {
+			return refreshBench{}, err
+		}
+	}
+	out := refreshBench{
+		PublishNsPerOp: float64(time.Since(start).Nanoseconds()) / publishes,
+	}
+
+	const snapshots = 200000
+	start = time.Now()
+	for i := 0; i < snapshots; i++ {
+		if _, err := svc.Get(v); err != nil {
+			return refreshBench{}, err
+		}
+	}
+	out.SnapshotNsPerOp = float64(time.Since(start).Nanoseconds()) / snapshots
+	return out, nil
 }
 
 // fleetBench summarizes one end-to-end fleet run (internal/fleet): a
@@ -253,6 +309,12 @@ func main() {
 			os.Exit(1)
 		}
 		report.Fleet = fb
+		rb, err := refreshMicroBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: refresh bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Refresh = rb
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "senseibench: %v\n", err)
@@ -268,7 +330,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "senseibench: closing %s: %v\n", *benchJSON, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, total %.1fs]\n",
-			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec, report.TotalSec)
+		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, total %.1fs]\n",
+			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec,
+			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.TotalSec)
 	}
 }

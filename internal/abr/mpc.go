@@ -134,20 +134,25 @@ func (m *MPC) Decide(s *player.State) player.Decision {
 	}
 	tbl := m.table(s.Video)
 
+	// One sensitivity snapshot per decision: both planners receive this
+	// slice explicitly and never re-read the state, so a live profile
+	// refresh lands between plans, never inside one.
+	weights := s.SensitivityWeights()
+
 	preStalls := noStallOnly
 	if m.Sensitivity && len(m.PreStallChoices) > 0 && s.ChunkIndex > 0 {
 		preStalls = m.PreStallChoices
 	}
 	if m.BruteForce {
-		return m.decideBrute(s, tbl, horizon, preStalls, pred.Predict(s.ThroughputBps))
+		return m.decideBrute(s, tbl, horizon, preStalls, pred.Predict(s.ThroughputBps), weights)
 	}
-	return m.decideTree(s, tbl, horizon, preStalls, pred)
+	return m.decideTree(s, tbl, horizon, preStalls, pred, weights)
 }
 
 // decideBrute is the exhaustive planner: every base-nRungs rung sequence
 // over the horizon is simulated from scratch under every scenario. It is
 // kept verbatim as the correctness oracle for the tree search.
-func (m *MPC) decideBrute(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, scenarios []Scenario) player.Decision {
+func (m *MPC) decideBrute(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, scenarios []Scenario, weights []float64) player.Decision {
 	nRungs := len(s.Video.Ladder)
 	bestScore := math.Inf(-1)
 	bestNoStall := math.Inf(-1)
@@ -170,7 +175,7 @@ func (m *MPC) decideBrute(s *player.State, tbl *vmafTable, horizon int, preStall
 				plan[i] = c % nRungs
 				c /= nRungs
 			}
-			score := m.scorePlan(s, tbl, plan, pre, scenarios)
+			score := m.scorePlan(s, tbl, plan, pre, scenarios, weights)
 			if pre == 0 && score > bestNoStall {
 				bestNoStall = score
 				best = player.Decision{Rung: plan[0]}
@@ -193,7 +198,7 @@ func (m *MPC) decideBrute(s *player.State, tbl *vmafTable, horizon int, preStall
 
 // scorePlan simulates the plan under each scenario and returns the
 // risk-adjusted score: (1−λ)·expected + λ·worst-scenario.
-func (m *MPC) scorePlan(s *player.State, tbl *vmafTable, plan []int, pre float64, scenarios []Scenario) float64 {
+func (m *MPC) scorePlan(s *player.State, tbl *vmafTable, plan []int, pre float64, scenarios []Scenario, weights []float64) float64 {
 	stallScale := math.Sqrt(float64(s.Video.NumChunks())) / 1.75
 	chunkDur := video.ChunkDuration.Seconds()
 	var expected float64
@@ -231,8 +236,8 @@ func (m *MPC) scorePlan(s *player.State, tbl *vmafTable, plan []int, pre float64
 			if prev >= 0 {
 				q -= m.Quality.SwitchPenalty * math.Abs(tbl.v[i][rung]-prevVMAF(tbl, i, prev))
 			}
-			if m.Sensitivity && s.Weights != nil {
-				q *= s.Weights[i]
+			if m.Sensitivity && weights != nil {
+				q *= weights[i]
 			}
 			totalQ += q
 			prev = rung

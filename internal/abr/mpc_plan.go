@@ -35,6 +35,7 @@ type treeSearch struct {
 	m         *MPC
 	s         *player.State
 	tbl       *vmafTable
+	w         []float64 // the decision's sensitivity snapshot, read once
 	scenarios []Scenario
 	scenBuf   []Scenario // reused backing array for appending predictors
 	horizon   int
@@ -78,7 +79,7 @@ var treePool = sync.Pool{New: func() any { return new(treeSearch) }}
 // decision logic exactly: per pre-stall pass the best plan is tracked with
 // the brute force's first-in-enumeration-order tie-break, and a nonzero
 // proactive stall must clear PreStallMargin over the best stall-free plan.
-func (m *MPC) decideTree(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, pred Predictor) player.Decision {
+func (m *MPC) decideTree(s *player.State, tbl *vmafTable, horizon int, preStalls []float64, pred Predictor, weights []float64) player.Decision {
 	t := treePool.Get().(*treeSearch)
 	defer treePool.Put(t)
 	var scenarios []Scenario
@@ -88,7 +89,7 @@ func (m *MPC) decideTree(s *player.State, tbl *vmafTable, horizon int, preStalls
 	} else {
 		scenarios = pred.Predict(s.ThroughputBps)
 	}
-	t.reset(m, s, tbl, horizon, scenarios)
+	t.reset(m, s, tbl, horizon, scenarios, weights)
 
 	bestNoStall := math.Inf(-1)
 	best := player.Decision{Rung: 0}
@@ -124,14 +125,15 @@ func (m *MPC) decideTree(s *player.State, tbl *vmafTable, horizon int, preStalls
 }
 
 // reset prepares the scratch for one decision, reusing prior capacity.
-func (t *treeSearch) reset(m *MPC, s *player.State, tbl *vmafTable, horizon int, scenarios []Scenario) {
+func (t *treeSearch) reset(m *MPC, s *player.State, tbl *vmafTable, horizon int, scenarios []Scenario, weights []float64) {
 	t.m, t.s, t.tbl = m, s, tbl
+	t.w = weights
 	t.scenarios = scenarios
 	t.horizon = horizon
 	t.nRungs = len(s.Video.Ladder)
 	t.chunkDur = video.ChunkDuration.Seconds()
 	t.stallScale = math.Sqrt(float64(s.Video.NumChunks())) / 1.75
-	t.weighted = m.Sensitivity && s.Weights != nil
+	t.weighted = m.Sensitivity && weights != nil
 	t.risk = m.RiskAversion
 	t.blend = len(scenarios) > 1 && t.risk > 0
 
@@ -179,7 +181,7 @@ func (t *treeSearch) reset(m *MPC, s *player.State, tbl *vmafTable, horizon int,
 		i := s.ChunkIndex + k
 		w := 1.0
 		if t.weighted {
-			w = s.Weights[i]
+			w = weights[i]
 			if w < 0 {
 				t.canPrune = false
 			}
@@ -283,7 +285,7 @@ func (t *treeSearch) step(k, r int) {
 			q -= t.m.Quality.SwitchPenalty * math.Abs(vmaf-prevVMAF(t.tbl, i, prev))
 		}
 		if t.weighted {
-			q *= t.s.Weights[i]
+			q *= t.w[i]
 		}
 		t.buf[k+1][sc] = buffer
 		t.qsum[k+1][sc] = t.qsum[k][sc] + q

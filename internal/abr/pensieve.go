@@ -145,11 +145,14 @@ func (p *Pensieve) features(s *player.State) []float64 {
 	out = append(out, remaining)
 	out = append(out, float64(s.LastRung+1)/float64(pensieveRungs))
 	if p.Sensitivity {
+		// One snapshot read for the whole feature vector: a live refresh
+		// can swap profiles between decisions, never inside one.
+		ws := s.SensitivityWeights()
 		for k := 0; k < p.Horizon; k++ {
 			i := s.ChunkIndex + k
 			w := 1.0
-			if s.Weights != nil && i < len(s.Weights) {
-				w = s.Weights[i]
+			if ws != nil && i < len(ws) {
+				w = ws[i]
 			}
 			out = append(out, w/2)
 		}

@@ -1,0 +1,62 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+// TestWriteFailureLeavesOriginal: a failing writer must neither touch the
+// existing file nor leave a temp file behind.
+func TestWriteFailureLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return fmt.Errorf("disk full")
+	}); err == nil {
+		t.Fatal("failed write reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("original destroyed: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %v", entries)
+	}
+}

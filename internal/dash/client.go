@@ -8,13 +8,22 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
+	"sensei/internal/crowd"
 	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
+	"sensei/internal/sensitivity"
 	"sensei/internal/video"
 )
+
+// WeightEpochHeader is the origin response header advertising the current
+// sensitivity-profile epoch of the video being served. It rides on
+// manifest, segment and weight responses; the client compares it against
+// its snapshot's epoch to detect a mid-stream refresh without polling.
+const WeightEpochHeader = "X-Sensei-Weight-Epoch"
 
 // DefaultRequestTimeout bounds each HTTP request the client issues when
 // Client.RequestTimeout is zero. It is generous because a request can
@@ -74,6 +83,13 @@ type Client struct {
 	// RequestTimeout bounds each HTTP request (default
 	// DefaultRequestTimeout; negative disables the timeout).
 	RequestTimeout time.Duration
+	// Sensitivity optionally overrides the wire-delivered weight plane
+	// with a caller-injected source: one snapshot is taken before every
+	// chunk decision, exactly as player.PlayWithSource does. The parity
+	// suite scripts epoch flips through it; when nil (the normal case) the
+	// client follows the manifest + X-Sensei-Weight-Epoch + GET /weights
+	// refresh protocol instead.
+	Sensitivity sensitivity.Source
 
 	sid          string
 	videoName    string
@@ -86,9 +102,18 @@ type Session struct {
 	ID string
 	// Rendering describes what was delivered, ready for QoE models.
 	Rendering *qoe.Rendering
-	// Weights are the manifest-carried sensitivity weights (nil if the
-	// manifest had none).
+	// Weights are the sensitivity weights in force at session end — the
+	// manifest-carried vector, superseded by any mid-stream refresh (nil
+	// if the video is unprofiled).
 	Weights []float64
+	// WeightEpoch is the profile epoch the final decision ran under.
+	WeightEpoch uint64
+	// ChunkEpochs records, per chunk, the profile epoch in force for that
+	// chunk's decision; a mid-stream refresh shows up as a step.
+	ChunkEpochs []uint64
+	// WeightRefreshes counts mid-stream GET /weights re-fetches triggered
+	// by the epoch header advancing.
+	WeightRefreshes int
 	// RebufferVirtualSec is stalled playback in virtual seconds.
 	RebufferVirtualSec float64
 	// DownloadVirtualSec is time spent downloading segments, in virtual
@@ -245,7 +270,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		maxStall = DefaultMaxPreStallSec
 	}
 
-	mpdBody, err := c.get(ctx, c.videoPath(v.Name, "manifest.mpd"))
+	mpdBody, _, err := c.get(ctx, c.videoPath(v.Name, "manifest.mpd"))
 	if err != nil {
 		return nil, fmt.Errorf("dash: fetching manifest: %w", err)
 	}
@@ -265,6 +290,29 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	if weights != nil && len(weights) != v.NumChunks() {
 		return nil, fmt.Errorf("dash: manifest has %d weights for %d chunks", len(weights), v.NumChunks())
 	}
+	// Same trust boundary as the /weights path: a weightless manifest
+	// stamped with a positive epoch would seed the staleness tracking at
+	// that epoch and silently suppress adoption of every real profile the
+	// origin publishes up to it.
+	if weights == nil && mpd.WeightEpoch() > 0 {
+		return nil, fmt.Errorf("dash: manifest carries epoch %d without weights", mpd.WeightEpoch())
+	}
+
+	// The session's starting profile snapshot. A weighted manifest from an
+	// origin predating the epoch extension is, by definition, the first
+	// epoch.
+	prof := &sensitivity.Profile{VideoName: v.Name, Epoch: mpd.WeightEpoch(), Weights: weights}
+	if weights != nil && prof.Epoch == 0 {
+		prof.Epoch = 1
+	}
+	// observed tracks the newest epoch any response header has advertised;
+	// running ahead of prof.Epoch means the snapshot is stale and the next
+	// decision must not run until the new vector is fetched. fetchedFor
+	// remembers the newest epoch a /weights fetch was already attempted
+	// for, so an origin whose weights endpoint lags its own headers costs
+	// one fetch per advertised bump, not one per remaining chunk.
+	observed := prof.Epoch
+	fetchedFor := prof.Epoch
 
 	n := v.NumChunks()
 	sess := &Session{
@@ -275,6 +323,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			Rungs:    make([]int, n),
 			StallSec: make([]float64, n),
 		},
+		ChunkEpochs: make([]uint64, n),
 	}
 	chunkDur := video.ChunkDuration.Seconds()
 	buffer := 0.0 // virtual seconds
@@ -285,6 +334,29 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dash: stream canceled at chunk %d: %w", i, err)
 		}
+		// One immutable snapshot per decision. An injected source is
+		// polled like the simulator polls it; on the wire plane a stale
+		// snapshot (a segment response advertised a newer epoch) is
+		// re-fetched before the ABR runs, so a refresh reaches the
+		// decision loop within one segment download.
+		if c.Sensitivity != nil {
+			p, _ := c.Sensitivity.Snapshot()
+			if p.Weights != nil && len(p.Weights) != n {
+				return nil, fmt.Errorf("dash: epoch %d snapshot has %d weights for %d chunks", p.Epoch, len(p.Weights), n)
+			}
+			prof = p
+		} else if observed > prof.Epoch && observed > fetchedFor {
+			fetchedFor = observed
+			p, err := c.fetchWeights(ctx, v)
+			if err != nil {
+				return nil, fmt.Errorf("dash: refreshing weights at chunk %d: %w", i, err)
+			}
+			if p.Epoch > prof.Epoch {
+				prof = p
+			}
+			sess.WeightRefreshes++
+		}
+		sess.ChunkEpochs[i] = prof.Epoch
 		st := &player.State{
 			Video:         v,
 			ChunkIndex:    i,
@@ -292,7 +364,8 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			LastRung:      lastRung,
 			ThroughputBps: thr,
 			DownloadSec:   dls,
-			Weights:       weights,
+			Weights:       prof.Weights,
+			Sensitivity:   prof,
 		}
 		d := c.Algorithm.Decide(st)
 		if d.Rung < 0 || d.Rung >= len(v.Ladder) {
@@ -326,9 +399,12 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		}
 
 		start := time.Now()
-		body, err := c.get(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)))
+		body, respEpoch, err := c.get(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)))
 		if err != nil {
 			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
+		}
+		if respEpoch > observed {
+			observed = respEpoch
 		}
 		elapsedVirtual := time.Since(start).Seconds() / scale
 		// At aggressive timescales a segment can land within clock
@@ -370,7 +446,54 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	if err := sess.Rendering.Validate(); err != nil {
 		return nil, fmt.Errorf("dash: session produced invalid rendering: %w", err)
 	}
+	sess.Weights = prof.Weights
+	sess.WeightEpoch = prof.Epoch
 	return sess, nil
+}
+
+// weightsResponse mirrors the origin's GET /weights wire format.
+type weightsResponse struct {
+	Video   string    `json:"video"`
+	Epoch   uint64    `json:"epoch"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// fetchWeights pulls the session video's current profile snapshot from the
+// origin, validating it at the trust boundary: wire-carried weights must
+// match the local chunk count and pass crowd.ValidWeight before they are
+// allowed anywhere near an ABR objective.
+func (c *Client) fetchWeights(ctx context.Context, v *video.Video) (*sensitivity.Profile, error) {
+	body, _, err := c.get(ctx, "/weights?sid="+url.QueryEscape(c.sid))
+	if err != nil {
+		return nil, err
+	}
+	var wr weightsResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		return nil, fmt.Errorf("dash: decoding weights: %w", err)
+	}
+	if wr.Video != v.Name {
+		return nil, fmt.Errorf("dash: weights are for %q, session streams %q", wr.Video, v.Name)
+	}
+	if wr.Weights == nil && wr.Epoch > 0 {
+		// A weightless payload can only be the epoch-0 placeholder; at a
+		// positive epoch it would silently downgrade a profiled session to
+		// unweighted planning under a fresh-looking epoch stamp.
+		return nil, fmt.Errorf("dash: origin sent epoch %d without weights", wr.Epoch)
+	}
+	if wr.Weights != nil {
+		if len(wr.Weights) != v.NumChunks() {
+			return nil, fmt.Errorf("dash: origin sent %d weights for %d chunks", len(wr.Weights), v.NumChunks())
+		}
+		for i, w := range wr.Weights {
+			if !crowd.ValidWeight(w) {
+				return nil, fmt.Errorf("dash: origin sent weight %d = %v, want a value in (0, 10]", i, w)
+			}
+		}
+		if wr.Epoch == 0 {
+			return nil, fmt.Errorf("dash: origin sent weighted profile at epoch 0")
+		}
+	}
+	return &sensitivity.Profile{VideoName: wr.Video, Epoch: wr.Epoch, Weights: wr.Weights}, nil
 }
 
 // validateLadder checks the manifest ladder against the local video model.
@@ -418,22 +541,30 @@ func (c *Client) requestContext(ctx context.Context) (context.Context, context.C
 	return context.WithTimeout(ctx, timeout)
 }
 
-// get fetches a path and returns the body.
-func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+// get fetches a path and returns the body plus the weight epoch the
+// response advertised (0 when the header is absent or malformed — an
+// origin that does not speak the extension simply never triggers a
+// refresh).
+func (c *Client) get(ctx context.Context, path string) ([]byte, uint64, error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+		return nil, 0, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
 	}
-	return io.ReadAll(resp.Body)
+	var epoch uint64
+	if h := resp.Header.Get(WeightEpochHeader); h != "" {
+		epoch, _ = strconv.ParseUint(h, 10, 64)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return body, epoch, err
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"sensei/internal/crowd"
 	"sensei/internal/video"
 )
 
@@ -34,8 +35,13 @@ type Period struct {
 
 // AdaptationSet groups the video representations.
 type AdaptationSet struct {
-	MimeType        string           `xml:"mimeType,attr"`
-	SegmentSeconds  int              `xml:"senseiSegmentSeconds,attr"`
+	MimeType       string `xml:"mimeType,attr"`
+	SegmentSeconds int    `xml:"senseiSegmentSeconds,attr"`
+	// WeightEpoch is the sensitivity-profile epoch the embedded weights
+	// were published at (0 = unprofiled legacy manifest). Clients compare
+	// it against the X-Sensei-Weight-Epoch header on segment responses to
+	// detect mid-stream refreshes.
+	WeightEpoch     uint64           `xml:"senseiWeightEpoch,attr,omitempty"`
 	Representations []Representation `xml:"Representation"`
 }
 
@@ -50,10 +56,25 @@ type Representation struct {
 }
 
 // BuildMPD renders the manifest for a video, embedding weights when
-// non-nil. Weights must match the chunk count.
+// non-nil. Weights must match the chunk count. The epoch defaults to 1 for
+// weighted manifests (a frozen first-epoch profile) and 0 for legacy ones;
+// origins serving live profiles use BuildMPDProfile.
 func BuildMPD(v *video.Video, weights []float64) (*MPD, error) {
+	var epoch uint64
+	if weights != nil {
+		epoch = 1
+	}
+	return BuildMPDProfile(v, weights, epoch)
+}
+
+// BuildMPDProfile renders the manifest for a video carrying an
+// epoch-stamped weight snapshot.
+func BuildMPDProfile(v *video.Video, weights []float64, epoch uint64) (*MPD, error) {
 	if weights != nil && len(weights) != v.NumChunks() {
 		return nil, fmt.Errorf("dash: %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+	if weights == nil && epoch != 0 {
+		return nil, fmt.Errorf("dash: weightless manifest at epoch %d", epoch)
 	}
 	var wAttr string
 	if weights != nil {
@@ -77,11 +98,16 @@ func BuildMPD(v *video.Video, weights []float64) (*MPD, error) {
 			AdaptationSet: AdaptationSet{
 				MimeType:        "video/mp4",
 				SegmentSeconds:  int(video.ChunkDuration / time.Second),
+				WeightEpoch:     epoch,
 				Representations: reps,
 			},
 		},
 	}, nil
 }
+
+// WeightEpoch returns the manifest's sensitivity-profile epoch (0 for a
+// legacy manifest without the extension).
+func (m *MPD) WeightEpoch() uint64 { return m.Period.AdaptationSet.WeightEpoch }
 
 // Encode serializes the MPD as XML.
 func (m *MPD) Encode() ([]byte, error) {
@@ -115,8 +141,13 @@ func (m *MPD) Weights() ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dash: weight %d: %w", i, err)
 		}
-		if w <= 0 {
-			return nil, fmt.Errorf("dash: weight %d is %v, must be positive", i, w)
+		// The decode path is the trust boundary for wire-carried weights:
+		// a NaN, non-positive or absurdly large value would flow straight
+		// into the MPC objective and silently corrupt every plan, so the
+		// manifest is rejected with the same contract every persistence
+		// codec enforces (crowd.ValidWeight).
+		if !crowd.ValidWeight(w) {
+			return nil, fmt.Errorf("dash: weight %d is %v, want a value in (0, 10]", i, w)
 		}
 		out[i] = w
 	}

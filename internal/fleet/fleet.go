@@ -92,6 +92,14 @@ type Config struct {
 	// serves weightless manifests (sensitivity-aware ABRs then plan
 	// unweighted).
 	Profile origin.ProfileFunc
+	// Refresh optionally schedules a mid-run, catalog-wide sensitivity
+	// refresh: once every session has joined (plus Refresh.After of grace),
+	// new weights are published for every video, bumping each profile's
+	// epoch. Active sessions detect the bump on their next segment
+	// response and adopt the new snapshot before their following decision;
+	// the report breaks QoE out per epoch cohort and reconciles the epochs
+	// against /stats.
+	Refresh *RefreshSpec
 	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
 	// default).
 	SessionIdleTimeout time.Duration
@@ -101,6 +109,49 @@ type Config struct {
 	// (they are always collected; this controls whether Report.Outcomes is
 	// populated — large fleets may not want N rows in a JSON report).
 	KeepOutcomes bool
+}
+
+// ReversedSensitivity returns the video's true per-chunk sensitivity
+// reversed — a valid weight vector maximally different from the profiled
+// one, the canonical "refreshed belief" for refresh scenarios (fleetsim's
+// -refresh flag, the refresh and parity suites).
+func ReversedSensitivity(v *video.Video) ([]float64, error) {
+	w := v.TrueSensitivity()
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[len(w)-1-i]
+	}
+	return out, nil
+}
+
+// RefreshSpec schedules the fleet's mid-run weight refresh.
+type RefreshSpec struct {
+	// After is the wall-clock grace between the last session join and the
+	// refresh publish. Keep it short relative to session duration so every
+	// session is still mid-stream when the bump lands.
+	After time.Duration
+	// Weights computes the refreshed vector for a video (required).
+	Weights func(v *video.Video) ([]float64, error)
+}
+
+// RefreshOutcome records what the scheduled refresh actually did.
+type RefreshOutcome struct {
+	// Applied is true once the new weights were published for every video.
+	Applied bool `json:"applied"`
+	// AppliedSec is when the last publish landed, on the run clock.
+	AppliedSec float64 `json:"applied_sec"`
+	// Epochs maps video name to its post-refresh profile epoch.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+	// SessionsConverged counts completed sessions that finished on their
+	// video's refreshed epoch; SessionsFinishedEarly counts those that
+	// completed around the bump and so never had a decision left to adopt
+	// it with. A scenario sized to keep every session mid-stream at the
+	// bump (the refresh smoke) expects Converged == fleet size and
+	// FinishedEarly == 0.
+	SessionsConverged     int `json:"sessions_converged"`
+	SessionsFinishedEarly int `json:"sessions_finished_early"`
+	// Err is set when the refresh could not be applied.
+	Err string `json:"err,omitempty"`
 }
 
 // assignment is the session mix slot for one index.
@@ -129,6 +180,20 @@ func (c *Config) validate() error {
 	for _, ts := range c.TimeScales {
 		if ts <= 0 {
 			return fmt.Errorf("fleet: invalid timescale %v", ts)
+		}
+	}
+	if c.Refresh != nil {
+		if c.Refresh.Weights == nil {
+			return fmt.Errorf("fleet: refresh scheduled without a weights function")
+		}
+		if c.Refresh.After < 0 {
+			return fmt.Errorf("fleet: negative refresh delay %v", c.Refresh.After)
+		}
+		if c.Profile == nil {
+			// An epoch bump on a weightless catalog would be the sessions'
+			// first profile; legal at the origin, but the scenario exists to
+			// exercise mid-stream refresh of already-weighted sessions.
+			return fmt.Errorf("fleet: refresh scheduled without a profile function")
 		}
 	}
 	return nil
@@ -250,13 +315,77 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	outcomes := make([]SessionOutcome, cfg.Sessions)
 	start := time.Now()
+
+	// The scheduled mid-run refresh: wait for every session to join, give
+	// them Refresh.After to get into their streams, then publish new
+	// weights for the whole catalog. The watcher races the fleet on
+	// purpose — that is the scenario — but never outlives it: fleetDone
+	// aborts the wait if the fleet drains (or dies) before the bump.
+	var refreshOut *RefreshOutcome
+	fleetDone := make(chan struct{})
+	refreshDone := make(chan struct{})
+	if cfg.Refresh != nil {
+		refreshOut = &RefreshOutcome{Epochs: map[string]uint64{}}
+		go func() {
+			defer close(refreshDone)
+			// SessionsCreated is a lock-free counter read; a full Stats()
+			// snapshot here would contend with segment serving on the
+			// registry mutex 500 times a second for nothing.
+			for o.SessionsCreated() < int64(cfg.Sessions) {
+				select {
+				case <-fleetDone:
+					refreshOut.Err = "fleet drained before every session joined"
+					return
+				case <-ctx.Done():
+					refreshOut.Err = "run canceled before the refresh fired: " + ctx.Err().Error()
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			grace := time.NewTimer(cfg.Refresh.After)
+			defer grace.Stop()
+			select {
+			case <-fleetDone:
+				// Every session finished inside the grace window: there is
+				// nobody left to refresh, and Run must not stall for the
+				// rest of the timer.
+				refreshOut.Err = "fleet drained before the refresh fired"
+				return
+			case <-ctx.Done():
+				refreshOut.Err = "run canceled before the refresh fired: " + ctx.Err().Error()
+				return
+			case <-grace.C:
+			}
+			for _, v := range cfg.Videos {
+				w, err := cfg.Refresh.Weights(v)
+				if err != nil {
+					refreshOut.Err = fmt.Sprintf("refresh weights for %q: %v", v.Name, err)
+					return
+				}
+				p, err := o.PublishWeights(v.Name, w)
+				if err != nil {
+					refreshOut.Err = fmt.Sprintf("publishing refresh for %q: %v", v.Name, err)
+					return
+				}
+				refreshOut.Epochs[v.Name] = p.Epoch
+			}
+			refreshOut.Applied = true
+			refreshOut.AppliedSec = time.Since(start).Seconds()
+		}()
+	} else {
+		close(refreshDone)
+	}
+
 	// Workers always return nil: a failed session is a data point the
 	// report must show, not a reason to abort the rest of the fleet.
 	_ = par.ForEachN(cfg.Sessions, workers, func(k int) error {
 		a := cfg.assign(k, traceNames, abrs, scales)
 		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a)
+		outcomes[k].FinishedSec = time.Since(start).Seconds()
 		return nil
 	})
+	close(fleetDone)
+	<-refreshDone
 	elapsed := time.Since(start)
 
 	// Read the ledger over the wire, like any external monitor would.
@@ -264,7 +393,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(outcomes, st, elapsed, cfg.KeepOutcomes), nil
+	return buildReport(outcomes, st, refreshOut, elapsed, cfg.KeepOutcomes), nil
 }
 
 // runSession streams one fleet slot end to end and captures its outcome.
@@ -310,8 +439,16 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 	out.TrueQoE = mos.TrueQoE(sess.Rendering)
 	if sess.Weights != nil {
 		out.HasWeights = true
+		// Weighted QoE is scored with the final snapshot: after a refresh
+		// the bumped weights are the system's current belief about this
+		// video's sensitivity, old epochs included.
 		out.WeightedQoE = abr.WeightedSessionQoE(sess.Rendering, sess.Weights)
 	}
+	out.WeightEpoch = sess.WeightEpoch
+	if len(sess.ChunkEpochs) > 0 {
+		out.FirstEpoch = sess.ChunkEpochs[0]
+	}
+	out.WeightRefreshes = sess.WeightRefreshes
 	// Leave with cancellation stripped: a fleet deadline firing between a
 	// session's last segment and its hang-up must not turn a completed
 	// session into a spurious ledger mismatch (the client's own

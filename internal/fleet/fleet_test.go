@@ -275,3 +275,140 @@ func BenchmarkFleet(b *testing.B) {
 		b.ReportMetric(totalSessions/sec, "sessions/s")
 	}
 }
+
+// TestFleetWeightRefresh is the live-sensitivity-plane scenario: a 64-
+// session mixed fleet (smaller under -short) with a catalog-wide weight
+// refresh fired once every session is mid-stream. Reconciliation then
+// proves the bump reached every session (all finish on the new epoch, the
+// epochs match /stats exactly) and the per-epoch QoE cohorts partition the
+// fleet.
+func TestFleetWeightRefresh(t *testing.T) {
+	sessions := 64
+	if testing.Short() {
+		sessions = 16
+	}
+	scale := fleetScale()
+	cfg := Config{
+		Sessions: sessions,
+		Videos:   testCatalog(t, 8),
+		// Slow traces and a short post-join grace: every session's shaped
+		// downloads outlast the bump by an order of magnitude, so the
+		// refresh lands while the whole fleet is mid-stream.
+		Traces: flatTraces(map[string]float64{
+			"med":  4e6,   // 4 Mbps
+			"slow": 1.5e6, // 1.5 Mbps
+		}),
+		TimeScales: []float64{scale},
+		Profile:    func(v *video.Video) ([]float64, error) { return v.TrueSensitivity(), nil },
+		Refresh: &RefreshSpec{
+			After:   50 * time.Millisecond,
+			Weights: ReversedSensitivity,
+		},
+		KeepOutcomes: true,
+	}
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 {
+		t.Fatalf("%d sessions failed:\n%s", report.Failed, report.Render())
+	}
+	if !report.Reconciliation.Ok {
+		t.Fatalf("refresh fleet did not reconcile:\n%s", report.Render())
+	}
+	if report.Refresh == nil || !report.Refresh.Applied {
+		t.Fatalf("refresh not applied: %+v", report.Refresh)
+	}
+	if got := len(report.Refresh.Epochs); got != len(cfg.Videos) {
+		t.Fatalf("refresh covered %d videos of %d", got, len(cfg.Videos))
+	}
+	for name, epoch := range report.Refresh.Epochs {
+		if epoch != 2 {
+			t.Fatalf("video %s refreshed to epoch %d, want 2", name, epoch)
+		}
+		if report.Origin.WeightEpochs[name] != 2 {
+			t.Fatalf("origin reports epoch %d for %s", report.Origin.WeightEpochs[name], name)
+		}
+	}
+	if report.Origin.ProfilesRefreshed != int64(len(cfg.Videos)) {
+		t.Fatalf("origin counted %d refreshes", report.Origin.ProfilesRefreshed)
+	}
+
+	// Every session converged on the new epoch — the scenario is sized so
+	// none finishes before the bump — and the ones that started on epoch
+	// 1 adopted it mid-stream via exactly the header→re-fetch path.
+	if report.Refresh.SessionsConverged != sessions || report.Refresh.SessionsFinishedEarly != 0 {
+		t.Fatalf("refresh reached %d of %d sessions (%d finished early):\n%s",
+			report.Refresh.SessionsConverged, sessions, report.Refresh.SessionsFinishedEarly, report.Render())
+	}
+	var flipped, refetches int
+	for _, o := range report.Outcomes {
+		if !o.HasWeights {
+			t.Fatalf("session %d streamed weightless", o.Index)
+		}
+		if o.WeightEpoch != 2 {
+			t.Fatalf("session %d finished on epoch %d: %+v", o.Index, o.WeightEpoch, o)
+		}
+		if o.FirstEpoch == 1 {
+			flipped++
+			if o.WeightRefreshes < 1 {
+				t.Fatalf("session %d flipped epochs without a /weights re-fetch", o.Index)
+			}
+			refetches += o.WeightRefreshes
+		}
+	}
+	// The scenario only proves mid-stream adoption if sessions actually
+	// started on the old epoch; the join barrier makes that the norm.
+	if flipped < sessions/2 {
+		t.Fatalf("only %d of %d sessions spanned the epoch flip", flipped, sessions)
+	}
+	if refetches > flipped {
+		t.Fatalf("%d re-fetches for %d flipped sessions (clients are polling)", refetches, flipped)
+	}
+
+	// Per-epoch QoE cohorts: the mid-stream cohort exists, partitions the
+	// fleet together with any pure-epoch-2 stragglers, and carries QoE.
+	span, ok := report.ByEpoch["1→2"]
+	if !ok {
+		t.Fatalf("no 1→2 epoch cohort: %v", report.ByEpoch)
+	}
+	if span.Sessions != flipped {
+		t.Fatalf("epoch cohort has %d sessions, outcomes say %d", span.Sessions, flipped)
+	}
+	var cohortSessions int
+	for _, c := range report.ByEpoch {
+		cohortSessions += c.Sessions
+	}
+	if cohortSessions != sessions {
+		t.Fatalf("epoch cohorts cover %d of %d sessions", cohortSessions, sessions)
+	}
+	if span.MeanQoE == 0 || span.MeanTrueQoE == 0 {
+		t.Fatalf("epoch cohort missing QoE: %+v", span)
+	}
+	if !strings.Contains(report.Render(), "refresh: published") {
+		t.Fatalf("render lacks the refresh line:\n%s", report.Render())
+	}
+}
+
+// TestFleetRefreshConfigValidation rejects unrunnable refresh specs.
+func TestFleetRefreshConfigValidation(t *testing.T) {
+	videos := testCatalog(t, 4)
+	traces := flatTraces(map[string]float64{"f": 1e9})
+	profile := func(v *video.Video) ([]float64, error) { return v.TrueSensitivity(), nil }
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no weights fn", Config{Sessions: 1, Videos: videos, Traces: traces, Profile: profile,
+			Refresh: &RefreshSpec{}}},
+		{"negative delay", Config{Sessions: 1, Videos: videos, Traces: traces, Profile: profile,
+			Refresh: &RefreshSpec{After: -time.Second, Weights: ReversedSensitivity}}},
+		{"refresh without profile", Config{Sessions: 1, Videos: videos, Traces: traces,
+			Refresh: &RefreshSpec{Weights: ReversedSensitivity}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sensei/internal/dash"
 	"sensei/internal/origin"
 	"sensei/internal/player"
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -129,4 +130,96 @@ func mustAlg(t *testing.T, a ABR) player.Algorithm {
 		t.Fatal(err)
 	}
 	return alg
+}
+
+// TestParityScriptedEpochFlip extends the parity contract to the live
+// sensitivity plane: a scripted mid-stream epoch flip — same flip chunk,
+// same before/after weight vectors — must produce identical rung sequences
+// from player.PlayWithSource and dash.Client over the same flat trace.
+// Both take exactly one snapshot per chunk decision, so the same
+// sensitivity.Script lands the flip on the same decision in both; any
+// divergence means the client's refresh plumbing perturbs playback
+// arithmetic.
+func TestParityScriptedEpochFlip(t *testing.T) {
+	scale := parityScale()
+	v := excerptOf(t, "Soccer1", 8)
+	tr := &trace.Trace{Name: "flat", BitsPerSecond: []float64{2.5e6}}
+
+	// Before: true sensitivity. After: the same vector reversed — a
+	// drastic mid-stream belief change that moves SENSEI-Fugu's plans.
+	w1 := v.TrueSensitivity()
+	w2, err := ReversedSensitivity(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flipAt = 3
+	script := func() sensitivity.Source {
+		s, err := sensitivity.NewScript(v.Name,
+			sensitivity.ScriptStep{Weights: w1, Chunks: flipAt},
+			sensitivity.ScriptStep{Weights: w2},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Simulator run under the scripted flip.
+	simRes, err := player.PlayWithSource(v, tr, mustAlg(t, ABRSensei), script(), player.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client run over a real origin, driven by its own copy of the script.
+	o, err := origin.New(origin.Config{
+		Catalog:      []*video.Video{v},
+		Profile:      func(vv *video.Video) ([]float64, error) { return w1, nil },
+		Traces:       map[string]*trace.Trace{"flat": tr},
+		DefaultTrace: "flat",
+		TimeScale:    scale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := origin.NewServer(o)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := &dash.Client{
+		BaseURL:     "http://" + addr,
+		Algorithm:   mustAlg(t, ABRSensei),
+		Sensitivity: script(),
+	}
+	sess, err := client.Stream(context.Background(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flip itself must be visible and land on the same chunk in both.
+	for i := 0; i < v.NumChunks(); i++ {
+		want := uint64(1)
+		if i >= flipAt {
+			want = 2
+		}
+		if simRes.ChunkEpochs[i] != want || sess.ChunkEpochs[i] != want {
+			t.Fatalf("epoch ledgers diverge at chunk %d: simulator %v, client %v",
+				i, simRes.ChunkEpochs, sess.ChunkEpochs)
+		}
+	}
+
+	// Identical rung sequences — the parity contract under a live refresh.
+	simRungs := simRes.Rendering.Rungs
+	cliRungs := sess.Rendering.Rungs
+	for i := range simRungs {
+		if simRungs[i] != cliRungs[i] {
+			t.Fatalf("rung sequences diverge at chunk %d under the epoch flip:\n  simulator %v\n  client    %v",
+				i, simRungs, cliRungs)
+		}
+	}
+	if d := math.Abs(simRes.RebufferSec - sess.RebufferVirtualSec); d > stallTolerance {
+		t.Fatalf("stall totals diverge by %.3fs under the epoch flip: simulator %.3f, client %.3f",
+			d, simRes.RebufferSec, sess.RebufferVirtualSec)
+	}
 }

@@ -3,11 +3,13 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"sensei/internal/origin"
 	"sensei/internal/stats"
+	"sensei/internal/video"
 )
 
 // SessionOutcome is one fleet slot's captured playback result.
@@ -40,8 +42,29 @@ type SessionOutcome struct {
 	TrueQoE     float64 `json:"true_qoe"`
 	WeightedQoE float64 `json:"weighted_qoe,omitempty"`
 	HasWeights  bool    `json:"has_weights,omitempty"`
+	// FirstEpoch and WeightEpoch are the sensitivity-profile epochs of the
+	// first and last decision; they differ exactly when a refresh reached
+	// the session mid-stream. WeightRefreshes counts the mid-stream
+	// /weights re-fetches that adoption took.
+	FirstEpoch      uint64 `json:"first_epoch,omitempty"`
+	WeightEpoch     uint64 `json:"weight_epoch,omitempty"`
+	WeightRefreshes int    `json:"weight_refreshes,omitempty"`
+	// FinishedSec is when the session's stream completed, on the run
+	// clock — reconciliation uses it to tell a session that legitimately
+	// finished around a weight refresh from one the bump failed to reach.
+	FinishedSec float64 `json:"finished_sec,omitempty"`
 	// Err is the failure, if the session did not complete cleanly.
 	Err string `json:"err,omitempty"`
+}
+
+// EpochKey labels the session's epoch cohort: a single epoch ("1") for
+// sessions that never saw a refresh, a span ("1→2") for sessions that
+// adopted one mid-stream.
+func (o *SessionOutcome) EpochKey() string {
+	if o.FirstEpoch == o.WeightEpoch {
+		return strconv.FormatUint(o.WeightEpoch, 10)
+	}
+	return strconv.FormatUint(o.FirstEpoch, 10) + "→" + strconv.FormatUint(o.WeightEpoch, 10)
 }
 
 // Percentiles summarizes a metric's distribution tail.
@@ -99,9 +122,16 @@ type Report struct {
 	ThroughputMbps Percentiles `json:"throughput_mbps"`
 	MeanQoE        float64     `json:"mean_qoe"`
 	MeanTrueQoE    float64     `json:"mean_true_qoe"`
-	// ByABR and ByTrace break the fleet down per mix dimension.
+	// ByABR and ByTrace break the fleet down per mix dimension. ByEpoch
+	// groups sessions by the sensitivity epochs they ran under ("1" for a
+	// stable profile, "1→2" for sessions a refresh reached mid-stream), so
+	// the QoE effect of a weight refresh is directly readable.
 	ByABR   map[string]Cohort `json:"by_abr"`
 	ByTrace map[string]Cohort `json:"by_trace"`
+	ByEpoch map[string]Cohort `json:"by_epoch,omitempty"`
+	// Refresh reports the scheduled mid-run weight refresh, when one was
+	// configured.
+	Refresh *RefreshOutcome `json:"refresh,omitempty"`
 	// Origin is the server's /stats snapshot after the fleet drained.
 	Origin origin.Stats `json:"origin"`
 	// Reconciliation cross-checks the two ledgers.
@@ -112,12 +142,14 @@ type Report struct {
 
 // buildReport aggregates outcomes and reconciles them against the origin's
 // ledger.
-func buildReport(outcomes []SessionOutcome, st origin.Stats, elapsed time.Duration, keepOutcomes bool) *Report {
+func buildReport(outcomes []SessionOutcome, st origin.Stats, refresh *RefreshOutcome, elapsed time.Duration, keepOutcomes bool) *Report {
 	r := &Report{
 		Sessions:   len(outcomes),
 		ElapsedSec: elapsed.Seconds(),
 		ByABR:      map[string]Cohort{},
 		ByTrace:    map[string]Cohort{},
+		ByEpoch:    map[string]Cohort{},
+		Refresh:    refresh,
 		Origin:     st,
 	}
 	if r.ElapsedSec > 0 {
@@ -150,10 +182,12 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, elapsed time.Durati
 	}
 	byABR := map[string]*cohortAcc{}
 	byTrace := map[string]*cohortAcc{}
+	byEpoch := map[string]*cohortAcc{}
 	for i := range outcomes {
 		o := &outcomes[i]
 		accumulate(byABR, o.ABR, o)
 		accumulate(byTrace, o.Trace, o)
+		accumulate(byEpoch, o.EpochKey(), o)
 		if o.Err != "" {
 			r.Failed++
 			continue
@@ -179,6 +213,7 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, elapsed time.Durati
 	}
 	finish(byABR, r.ByABR)
 	finish(byTrace, r.ByTrace)
+	finish(byEpoch, r.ByEpoch)
 	r.RebufferSec = percentilesOf(rebuf)
 	r.ThroughputMbps = percentilesOf(thrMbps)
 	r.MeanQoE = stats.Mean(qoes)
@@ -224,6 +259,79 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 	if hitSum != r.SegmentsDownloaded {
 		problem("per-video hits sum to %d, fleet downloaded %d segments", hitSum, r.SegmentsDownloaded)
 	}
+
+	// Epoch accounting: every epoch cohort must be made of real sessions
+	// (the counts partition the fleet), no session may claim an epoch the
+	// origin never published, and a scheduled refresh must have landed and
+	// be reflected in /stats exactly.
+	var epochSessions int
+	for _, c := range r.ByEpoch {
+		epochSessions += c.Sessions
+	}
+	if epochSessions != r.Sessions {
+		problem("epoch cohorts cover %d sessions of %d", epochSessions, r.Sessions)
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Err != "" {
+			continue
+		}
+		// WeightEpochs omits never-published videos, so the map's zero
+		// value is exactly the origin's epoch for them — a session
+		// claiming any positive epoch on a weightless catalog is flagged
+		// too.
+		if originEpoch := st.WeightEpochs[o.Video]; o.WeightEpoch > originEpoch {
+			problem("session %d ended on epoch %d of %q, origin only published %d",
+				o.Index, o.WeightEpoch, o.Video, originEpoch)
+		}
+	}
+	if r.Refresh != nil {
+		switch {
+		case r.Refresh.Err != "":
+			problem("refresh failed: %s", r.Refresh.Err)
+		case !r.Refresh.Applied:
+			problem("scheduled refresh never applied")
+		default:
+			for videoName, epoch := range r.Refresh.Epochs {
+				if st.WeightEpochs[videoName] != epoch {
+					problem("refresh published epoch %d for %q, /stats reports %d",
+						epoch, videoName, st.WeightEpochs[videoName])
+				}
+			}
+			if st.ProfilesRefreshed < int64(len(r.Refresh.Epochs)) {
+				problem("/stats counts %d refreshes for %d published", st.ProfilesRefreshed, len(r.Refresh.Epochs))
+			}
+			// The reach proof: the per-segment epoch beacon bounds adoption
+			// at one segment download, so a session still on the old epoch
+			// is only legitimate if it finished around the bump — before
+			// it, or so soon after that its last decision predated the
+			// publish. The slack covers everything one final segment can
+			// legitimately take after that decision: its buffer-full wait
+			// (at most one chunk duration of wall clock, since each chunk
+			// credits chunkDur) plus its download (bounded by the session's
+			// whole download wall time). A stale session finishing later
+			// than that provably decided after observing the new epoch and
+			// is a reach failure.
+			for i := range outcomes {
+				o := &outcomes[i]
+				if o.Err != "" {
+					continue
+				}
+				want := r.Refresh.Epochs[o.Video]
+				if o.WeightEpoch == want {
+					r.Refresh.SessionsConverged++
+					continue
+				}
+				slack := o.DownloadSec*o.TimeScale + video.ChunkDuration.Seconds()*o.TimeScale
+				if o.FinishedSec > r.Refresh.AppliedSec+slack {
+					problem("session %d (%s) streamed past the refresh (finished %.2fs, bump %.2fs) yet ended on epoch %d, not %d",
+						o.Index, o.Video, o.FinishedSec, r.Refresh.AppliedSec, o.WeightEpoch, want)
+				} else {
+					r.Refresh.SessionsFinishedEarly++
+				}
+			}
+		}
+	}
 	rec.Ok = len(rec.Problems) == 0
 	return rec
 }
@@ -260,6 +368,19 @@ func (r *Report) Render() string {
 	}
 	section("by ABR:", r.ByABR)
 	section("by trace:", r.ByTrace)
+	if len(r.ByEpoch) > 1 || r.Refresh != nil {
+		section("by epoch:", r.ByEpoch)
+	}
+
+	if r.Refresh != nil {
+		switch {
+		case r.Refresh.Err != "":
+			fmt.Fprintf(&b, "refresh: FAILED: %s\n", r.Refresh.Err)
+		case r.Refresh.Applied:
+			fmt.Fprintf(&b, "refresh: published at %.2fs across %d videos; %d sessions converged on the new epoch, %d finished before it could reach them\n",
+				r.Refresh.AppliedSec, len(r.Refresh.Epochs), r.Refresh.SessionsConverged, r.Refresh.SessionsFinishedEarly)
+		}
+	}
 
 	if r.Reconciliation.Ok {
 		fmt.Fprintf(&b, "ledger: reconciled exactly with origin /stats (%d bytes, %d segments, %d sessions)\n",

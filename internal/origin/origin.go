@@ -6,19 +6,32 @@
 //   - POST /session                       — join: pick a video, optionally a
 //     named trace and timescale; returns a session ID
 //   - GET  /v/{video}/manifest.mpd        — SENSEI-extended manifest; weights
-//     are computed lazily, at most once per video (WeightStore singleflight),
-//     and persisted so restarts are instant
+//     are computed lazily, at most once per video (WeightService
+//     singleflight), and persisted so restarts are instant
 //   - GET  /v/{video}/segment/{chunk}/{rung}?sid=... — synthetic segment
-//     bytes shaped by the *session's own* trace cursor
+//     bytes shaped by the *session's own* trace cursor; the response carries
+//     X-Sensei-Weight-Epoch so clients detect profile staleness for free
+//   - GET  /weights?sid=...              — the session's video's current
+//     profile snapshot (epoch + weights); clients re-fetch it when a
+//     segment response advertises a newer epoch
+//   - POST /refresh                      — re-profile a chunk window of a
+//     video and publish the result as the next epoch (live-ops hook)
 //   - DELETE /session/{id}               — leave
 //   - GET  /stats                        — active sessions, bytes served,
-//     per-video hit counts
+//     per-video hit counts and weight epochs
 //
 // Each session owns a dash.Shaper replaying its own trace from its own
-// epoch, so concurrent sessions observe independent bottlenecks — the
+// start time, so concurrent sessions observe independent bottlenecks — the
 // substrate per-user QoE personalization builds on — instead of contending
 // on one global cursor. Idle sessions are reaped by a janitor. Server
 // wraps an Origin with a drained, context-based graceful shutdown.
+//
+// Sensitivity weights are a live, versioned data plane (internal/
+// sensitivity): each video's profile is an immutable epoch-stamped
+// snapshot in a WeightService holder, refreshed atomically by incremental
+// re-profiling, with the current epoch advertised on every segment
+// response so mid-stream clients converge on a new epoch within one
+// segment download.
 package origin
 
 import (
@@ -33,6 +46,7 @@ import (
 
 	"sensei/internal/dash"
 	"sensei/internal/par"
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -73,12 +87,19 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Origin is the multi-tenant origin: catalog, weight store, session
-// registry and HTTP handler.
+// WeightEpochHeader is the response header advertising the serving
+// video's current sensitivity-profile epoch. It rides on manifest, segment
+// and weight responses; a client comparing it against its own snapshot's
+// epoch detects staleness without polling. The name is defined on the
+// client side (dash) so the protocol has one source of truth.
+const WeightEpochHeader = dash.WeightEpochHeader
+
+// Origin is the multi-tenant origin: catalog, versioned weight service,
+// session registry and HTTP handler.
 type Origin struct {
 	cfg    Config
 	videos map[string]*video.Video
-	store  *WeightStore
+	store  *WeightService
 	mux    *http.ServeMux
 
 	mu       sync.Mutex
@@ -90,6 +111,7 @@ type Origin struct {
 	bytesServed     atomic.Int64
 	segmentsServed  atomic.Int64
 	manifestsServed atomic.Int64
+	weightsServed   atomic.Int64
 	videoHits       sync.Map // video name -> *atomic.Int64 (segment hits)
 
 	done      chan struct{}
@@ -139,7 +161,7 @@ func New(cfg Config) (*Origin, error) {
 	o := &Origin{
 		cfg:      cfg,
 		videos:   videos,
-		store:    NewWeightStore(cfg.WeightDir, cfg.Profile, cfg.Logf),
+		store:    NewWeightService(cfg.WeightDir, cfg.Profile, cfg.Logf),
 		sessions: map[string]*session{},
 		done:     make(chan struct{}),
 	}
@@ -148,6 +170,8 @@ func New(cfg Config) (*Origin, error) {
 	mux.HandleFunc("DELETE /session/{id}", o.handleLeave)
 	mux.HandleFunc("GET /v/{video}/manifest.mpd", o.handleManifest)
 	mux.HandleFunc("GET /v/{video}/segment/{chunk}/{rung}", o.handleSegment)
+	mux.HandleFunc("GET /weights", o.handleWeights)
+	mux.HandleFunc("POST /refresh", o.handleRefresh)
 	mux.HandleFunc("GET /stats", o.handleStats)
 	o.mux = mux
 
@@ -167,8 +191,46 @@ func (o *Origin) Close() {
 	o.wg.Wait()
 }
 
-// WeightStore exposes the profile cache (tests assert its call counts).
-func (o *Origin) WeightStore() *WeightStore { return o.store }
+// Weights exposes the versioned profile service (tests assert its call
+// counts; operators publish refreshes through it).
+func (o *Origin) Weights() *WeightService { return o.store }
+
+// SessionsCreated reports the join counter — a lock-free read for callers
+// (like the fleet's refresh watcher) that poll it at high frequency and
+// must not contend with the registry mutex the way a full Stats() does.
+func (o *Origin) SessionsCreated() int64 { return o.sessionsCreated.Load() }
+
+// PublishWeights installs weights as the named video's next profile epoch
+// — the in-process control-plane hook the fleet harness and embedding
+// servers use to push a refresh to every active session.
+func (o *Origin) PublishWeights(videoName string, weights []float64) (*sensitivity.Profile, error) {
+	v, ok := o.videos[videoName]
+	if !ok {
+		return nil, fmt.Errorf("origin: video %q not in catalog", videoName)
+	}
+	p, err := o.store.Publish(v, weights)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("origin: published weights for %q at epoch %d", videoName, p.Epoch)
+	return p, nil
+}
+
+// RefreshWeights re-profiles chunks [lo, hi) of the named video with the
+// configured profile function and publishes the spliced result as the next
+// epoch.
+func (o *Origin) RefreshWeights(videoName string, lo, hi int) (*sensitivity.Profile, error) {
+	v, ok := o.videos[videoName]
+	if !ok {
+		return nil, fmt.Errorf("origin: video %q not in catalog", videoName)
+	}
+	p, err := o.store.RefreshWindow(v, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("origin: refreshed %q chunks [%d,%d) to epoch %d", videoName, lo, hi, p.Epoch)
+	return p, nil
+}
 
 // ServeHTTP implements http.Handler.
 func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.mux.ServeHTTP(w, r) }
@@ -282,13 +344,13 @@ func (o *Origin) handleManifest(w http.ResponseWriter, r *http.Request) {
 	if sid := r.URL.Query().Get("sid"); sid != "" {
 		o.lookupSession(sid) // refresh the idle clock; manifests work without a session too
 	}
-	weights, err := o.store.Get(v)
+	p, err := o.store.Get(v)
 	if err != nil {
 		o.logf("origin: profiling %q: %v", v.Name, err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	mpd, err := dash.BuildMPD(v, weights)
+	mpd, err := dash.BuildMPDProfile(v, p.Weights, p.Epoch)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -300,7 +362,82 @@ func (o *Origin) handleManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	o.manifestsServed.Add(1)
 	w.Header().Set("Content-Type", "application/dash+xml")
+	w.Header().Set(WeightEpochHeader, strconv.FormatUint(p.Epoch, 10))
 	_, _ = w.Write(body)
+}
+
+// WeightsResponse is the GET /weights payload: the current epoch-stamped
+// profile of the session's video.
+type WeightsResponse struct {
+	Video   string    `json:"video"`
+	Epoch   uint64    `json:"epoch"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// handleWeights serves the current profile snapshot for the session named
+// by ?sid=. At join time the manifest already carries the same data; this
+// endpoint exists for the mid-stream refresh: a client that sees a newer
+// epoch on a segment response fetches the new vector here before its next
+// decision.
+func (o *Origin) handleWeights(w http.ResponseWriter, r *http.Request) {
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		http.Error(w, "origin: weights request without sid (join via POST /session)", http.StatusBadRequest)
+		return
+	}
+	sess, ok := o.lookupSession(sid)
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", sid), http.StatusNotFound)
+		return
+	}
+	v, ok := o.videos[sess.videoName]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: session video %q gone from catalog", sess.videoName), http.StatusInternalServerError)
+		return
+	}
+	p, err := o.store.Get(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	o.weightsServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(WeightEpochHeader, strconv.FormatUint(p.Epoch, 10))
+	_ = json.NewEncoder(w).Encode(WeightsResponse{Video: p.VideoName, Epoch: p.Epoch, Weights: p.Weights})
+}
+
+// RefreshRequest is the POST /refresh body: re-profile chunks [From, To)
+// of Video and publish the result as the next epoch.
+type RefreshRequest struct {
+	Video string `json:"video"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+}
+
+// RefreshResponse is the POST /refresh reply.
+type RefreshResponse struct {
+	Video string `json:"video"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (o *Origin) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	var req RefreshRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		http.Error(w, "origin: bad refresh body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, ok := o.videos[req.Video]; !ok {
+		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", req.Video), http.StatusNotFound)
+		return
+	}
+	p, err := o.RefreshWeights(req.Video, req.From, req.To)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(WeightEpochHeader, strconv.FormatUint(p.Epoch, 10))
+	_ = json.NewEncoder(w).Encode(RefreshResponse{Video: p.VideoName, Epoch: p.Epoch})
 }
 
 // segmentPattern is the shared read-only payload source: handlers slice it
@@ -357,6 +494,10 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 	size := int(v.ChunkSizeBits(chunk, rung) / 8)
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.Itoa(size))
+	// Staleness beacon: the video's current profile epoch rides on every
+	// segment so clients detect a refresh without polling. EpochOf is a
+	// lock-peek, never a campaign — a cold video simply advertises 0.
+	w.Header().Set(WeightEpochHeader, strconv.FormatUint(o.store.EpochOf(v.Name), 10))
 
 	// Stream slices of the shared pattern, sleeping per the session's
 	// shaper so this client observes its own trace's bandwidth. All
@@ -422,17 +563,20 @@ type SessionStats struct {
 
 // Stats is the /stats payload.
 type Stats struct {
-	ActiveSessions   int              `json:"active_sessions"`
-	SessionsCreated  int64            `json:"sessions_created"`
-	SessionsClosed   int64            `json:"sessions_closed"`
-	SessionsExpired  int64            `json:"sessions_expired"`
-	BytesServed      int64            `json:"bytes_served"`
-	SegmentsServed   int64            `json:"segments_served"`
-	ManifestsServed  int64            `json:"manifests_served"`
-	ProfilesComputed int64            `json:"profiles_computed"`
-	ProfilesFromDisk int64            `json:"profiles_from_disk"`
-	VideoHits        map[string]int64 `json:"video_hits"`
-	Sessions         []SessionStats   `json:"sessions,omitempty"`
+	ActiveSessions    int               `json:"active_sessions"`
+	SessionsCreated   int64             `json:"sessions_created"`
+	SessionsClosed    int64             `json:"sessions_closed"`
+	SessionsExpired   int64             `json:"sessions_expired"`
+	BytesServed       int64             `json:"bytes_served"`
+	SegmentsServed    int64             `json:"segments_served"`
+	ManifestsServed   int64             `json:"manifests_served"`
+	WeightsServed     int64             `json:"weights_served"`
+	ProfilesComputed  int64             `json:"profiles_computed"`
+	ProfilesFromDisk  int64             `json:"profiles_from_disk"`
+	ProfilesRefreshed int64             `json:"profiles_refreshed"`
+	VideoHits         map[string]int64  `json:"video_hits"`
+	WeightEpochs      map[string]uint64 `json:"weight_epochs,omitempty"`
+	Sessions          []SessionStats    `json:"sessions,omitempty"`
 }
 
 // Stats snapshots the origin's counters.
@@ -460,18 +604,27 @@ func (o *Origin) Stats() Stats {
 		hits[k.(string)] = v.(*atomic.Int64).Load()
 		return true
 	})
+	epochs := map[string]uint64{}
+	for name := range o.videos {
+		if e := o.store.EpochOf(name); e > 0 {
+			epochs[name] = e
+		}
+	}
 	return Stats{
-		ActiveSessions:   len(sessions),
-		SessionsCreated:  o.sessionsCreated.Load(),
-		SessionsClosed:   o.sessionsClosed.Load(),
-		SessionsExpired:  o.sessionsExpired.Load(),
-		BytesServed:      o.bytesServed.Load(),
-		SegmentsServed:   o.segmentsServed.Load(),
-		ManifestsServed:  o.manifestsServed.Load(),
-		ProfilesComputed: o.store.ProfileCalls(),
-		ProfilesFromDisk: o.store.DiskLoads(),
-		VideoHits:        hits,
-		Sessions:         sessions,
+		ActiveSessions:    len(sessions),
+		SessionsCreated:   o.sessionsCreated.Load(),
+		SessionsClosed:    o.sessionsClosed.Load(),
+		SessionsExpired:   o.sessionsExpired.Load(),
+		BytesServed:       o.bytesServed.Load(),
+		SegmentsServed:    o.segmentsServed.Load(),
+		ManifestsServed:   o.manifestsServed.Load(),
+		WeightsServed:     o.weightsServed.Load(),
+		ProfilesComputed:  o.store.ProfileCalls(),
+		ProfilesFromDisk:  o.store.DiskLoads(),
+		ProfilesRefreshed: o.store.Refreshes(),
+		VideoHits:         hits,
+		WeightEpochs:      epochs,
+		Sessions:          sessions,
 	}
 }
 

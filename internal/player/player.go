@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"sensei/internal/qoe"
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -50,13 +51,31 @@ type State struct {
 	DownloadSec []float64
 	// Weights holds per-chunk sensitivity weights for the whole video, or
 	// nil when the video was not profiled. Sensitivity-aware algorithms
-	// read Weights[ChunkIndex:]; others ignore it.
+	// read Weights[ChunkIndex:]; others ignore it. When Sensitivity is set
+	// the two always agree — Weights is Sensitivity.Weights.
 	Weights []float64
+	// Sensitivity is the epoch-stamped profile snapshot in force for this
+	// decision. The snapshot is immutable: algorithms that plan across the
+	// whole horizon read it once per Decide and can never observe a
+	// mid-plan refresh tearing the weights. It is nil only for legacy
+	// callers that populate Weights directly.
+	Sensitivity *sensitivity.Profile
 	// TraceTimeSec is the current position on the throughput trace clock.
 	// Online algorithms must ignore it; it exists so the idealized offline
 	// oracles of §2.4 (which are defined to know the whole trace) can look
 	// up true future throughput.
 	TraceTimeSec float64
+}
+
+// SensitivityWeights returns the weight vector in force for this decision:
+// the profile snapshot when one is attached, the legacy slice otherwise.
+// Algorithms call it once per Decide so a live refresh can never tear a
+// plan in progress.
+func (s *State) SensitivityWeights() []float64 {
+	if s.Sensitivity != nil {
+		return s.Sensitivity.Weights
+	}
+	return s.Weights
 }
 
 // Algorithm selects the delivery of the next chunk from player state.
@@ -107,11 +126,28 @@ type Result struct {
 	BitsDownloaded float64
 	// WallClockSec is the total session duration on the trace clock.
 	WallClockSec float64
+	// ChunkEpochs records, per chunk, the sensitivity-profile epoch in
+	// force for that chunk's decision — all equal for a frozen source,
+	// stepping up mid-session under a live refresh.
+	ChunkEpochs []uint64
 }
 
 // Play streams v over tr using alg and returns the session result. Weights
-// may be nil; when present it must have one entry per chunk.
+// may be nil; when present it must have one entry per chunk. It is the
+// frozen-profile convenience wrapper over PlayWithSource.
 func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg Config) (*Result, error) {
+	if weights != nil && len(weights) != v.NumChunks() {
+		return nil, fmt.Errorf("player: %d weights for %d chunks", len(weights), v.NumChunks())
+	}
+	return PlayWithSource(v, tr, alg, sensitivity.Freeze(v.Name, weights), cfg)
+}
+
+// PlayWithSource streams v over tr, taking one sensitivity snapshot from
+// src before every chunk decision — the simulator half of the live
+// sensitivity plane. A frozen source reproduces Play exactly; a versioned
+// or scripted source lets the profile change mid-session, with each
+// decision seeing one immutable snapshot.
+func PlayWithSource(v *video.Video, tr *trace.Trace, alg Algorithm, src sensitivity.Source, cfg Config) (*Result, error) {
 	cfg.defaults()
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("player: %w", err)
@@ -119,8 +155,8 @@ func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg
 	if v.NumChunks() == 0 {
 		return nil, fmt.Errorf("player: video %q has no chunks", v.Name)
 	}
-	if weights != nil && len(weights) != v.NumChunks() {
-		return nil, fmt.Errorf("player: %d weights for %d chunks", len(weights), v.NumChunks())
+	if src == nil {
+		src = sensitivity.Freeze(v.Name, nil)
 	}
 
 	cur := trace.NewCursor(tr)
@@ -130,7 +166,7 @@ func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg
 		Rungs:    make([]int, n),
 		StallSec: make([]float64, n),
 	}
-	res := &Result{Rendering: rendering}
+	res := &Result{Rendering: rendering, ChunkEpochs: make([]uint64, n)}
 
 	chunkDur := video.ChunkDuration.Seconds()
 	buffer := 0.0
@@ -138,6 +174,13 @@ func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg
 	var thrHist, dlHist []float64
 
 	for i := 0; i < n; i++ {
+		// One immutable snapshot per decision: the profile in force for
+		// this chunk, however the source behind it refreshes.
+		prof, epoch := src.Snapshot()
+		if prof.Weights != nil && len(prof.Weights) != n {
+			return nil, fmt.Errorf("player: epoch %d profile has %d weights for %d chunks", epoch, len(prof.Weights), n)
+		}
+		res.ChunkEpochs[i] = epoch
 		st := &State{
 			Video:         v,
 			ChunkIndex:    i,
@@ -145,7 +188,8 @@ func Play(v *video.Video, tr *trace.Trace, alg Algorithm, weights []float64, cfg
 			LastRung:      lastRung,
 			ThroughputBps: thrHist,
 			DownloadSec:   dlHist,
-			Weights:       weights,
+			Weights:       prof.Weights,
+			Sensitivity:   prof,
 			TraceTimeSec:  cur.Now(),
 		}
 		d := alg.Decide(st)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -229,5 +230,99 @@ func TestDeterministicPlayback(t *testing.T) {
 	}
 	if a.RebufferSec != b.RebufferSec || a.WallClockSec != b.WallClockSec {
 		t.Fatal("replay diverged")
+	}
+}
+
+// TestPlayWithSourceScriptedFlip drives a scripted mid-session epoch flip
+// through the simulator: every decision must see exactly the snapshot the
+// script put in force, and the flip must be visible in ChunkEpochs.
+func TestPlayWithSourceScriptedFlip(t *testing.T) {
+	v := testVideo(t)
+	n := v.NumChunks()
+	w1 := make([]float64, n)
+	w2 := make([]float64, n)
+	for i := range w1 {
+		w1[i], w2[i] = 1, 1
+	}
+	w2[n-1] = 5 // the refresh discovers a high-sensitivity ending
+	const flipAt = 4
+	src, err := sensitivity.NewScript(v.Name,
+		sensitivity.ScriptStep{Weights: w1, Chunks: flipAt},
+		sensitivity.ScriptStep{Weights: w2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingAlg{rung: 2}
+	res, err := PlayWithSource(v, flatTrace(5e6, 3600), rec, src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ChunkEpochs) != n {
+		t.Fatalf("%d chunk epochs for %d chunks", len(res.ChunkEpochs), n)
+	}
+	for i, e := range res.ChunkEpochs {
+		want := uint64(1)
+		if i >= flipAt {
+			want = 2
+		}
+		if e != want {
+			t.Fatalf("chunk %d on epoch %d, want %d (%v)", i, e, want, res.ChunkEpochs)
+		}
+	}
+	for i, st := range rec.states {
+		wantW := w1
+		if i >= flipAt {
+			wantW = w2
+		}
+		if st.Weights[n-1] != wantW[n-1] {
+			t.Fatalf("decision %d saw weights[%d]=%v", i, n-1, st.Weights[n-1])
+		}
+		if st.Sensitivity == nil || st.Sensitivity.Epoch != res.ChunkEpochs[i] {
+			t.Fatalf("decision %d snapshot %+v, epoch ledger %d", i, st.Sensitivity, res.ChunkEpochs[i])
+		}
+	}
+}
+
+// TestPlayFrozenAdapterMatchesLegacy: Play(weights) and PlayWithSource over
+// a frozen source are the same session, bit for bit.
+func TestPlayFrozenAdapterMatchesLegacy(t *testing.T) {
+	v := testVideo(t)
+	w := v.TrueSensitivity()
+	tr := flatTrace(2.5e6, 3600)
+	a, err := Play(v, tr, &fixedAlg{rung: 3}, w, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlayWithSource(v, tr, &fixedAlg{rung: 3}, sensitivity.Freeze(v.Name, w), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RebufferSec != b.RebufferSec || a.BitsDownloaded != b.BitsDownloaded {
+		t.Fatalf("frozen adapter diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Rendering.Rungs {
+		if a.Rendering.Rungs[i] != b.Rendering.Rungs[i] {
+			t.Fatalf("rung %d diverged", i)
+		}
+	}
+	for _, e := range b.ChunkEpochs {
+		if e != 1 {
+			t.Fatalf("frozen session epochs %v", b.ChunkEpochs)
+		}
+	}
+}
+
+// TestPlayRejectsWrongLengthSnapshot: a source handing out a profile sized
+// for a different cut of the video is an error, not silent misindexing.
+func TestPlayRejectsWrongLengthSnapshot(t *testing.T) {
+	v := testVideo(t)
+	short := make([]float64, v.NumChunks()-1)
+	for i := range short {
+		short[i] = 1
+	}
+	_, err := PlayWithSource(v, flatTrace(5e6, 600), &fixedAlg{rung: 0}, sensitivity.Freeze(v.Name, short), Config{})
+	if err == nil {
+		t.Fatal("wrong-length snapshot accepted")
 	}
 }

@@ -28,6 +28,13 @@
 // profiled lazily (once per video, persisted on disk) and delivered via
 // the manifest's SenseiWeights extension. See NewDASHOrigin, NewDASHServer
 // and DASHClient, or run cmd/dashserver and cmd/dashclient.
+//
+// Sensitivity is a live, versioned data plane: every profile is an
+// immutable, epoch-stamped SensitivityProfile snapshot read through a
+// SensitivitySource, the origin re-profiles chunk windows and publishes
+// new epochs atomically (POST /refresh, PublishWeights), and active
+// sessions — simulator and DASH client alike — adopt a refresh before
+// their next decision. See StreamWithSource and FleetRefreshSpec.
 package sensei
 
 import (
@@ -41,6 +48,7 @@ import (
 	"sensei/internal/origin"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -199,6 +207,39 @@ func Stream(v *Video, tr *Trace, alg Algorithm, weights []float64) (*StreamResul
 	return player.Play(v, tr, alg, weights, player.Config{})
 }
 
+// Live sensitivity plane: epoch-stamped immutable profile snapshots and
+// the Source interface every consumer reads them through. A Frozen source
+// reproduces the classic one-shot-profile behavior; a Versioned holder
+// publishes refreshes atomically mid-session.
+type (
+	// SensitivityProfile is one immutable, epoch-stamped weight snapshot.
+	SensitivityProfile = sensitivity.Profile
+	// SensitivitySource yields profile snapshots plus change notification.
+	SensitivitySource = sensitivity.Source
+	// VersionedWeights is a live profile holder: lock-free snapshots for
+	// readers, atomic epoch bumps for publishers.
+	VersionedWeights = sensitivity.Versioned
+)
+
+// FreezeWeights wraps a plain weight slice as a constant single-epoch
+// SensitivitySource (nil weights = the unprofiled epoch-0 placeholder).
+func FreezeWeights(videoName string, weights []float64) SensitivitySource {
+	return sensitivity.Freeze(videoName, weights)
+}
+
+// NewVersionedWeights starts a live profile holder for a video; Publish
+// new weight vectors on it to bump the epoch mid-session.
+func NewVersionedWeights(videoName string, weights []float64) *VersionedWeights {
+	return sensitivity.NewVersioned(videoName, weights)
+}
+
+// StreamWithSource plays v over tr taking one sensitivity snapshot from
+// src before every chunk decision, so a mid-session refresh (published on
+// a VersionedWeights holder) reaches the ABR without tearing any plan.
+func StreamWithSource(v *Video, tr *Trace, alg Algorithm, src SensitivitySource) (*StreamResult, error) {
+	return player.PlayWithSource(v, tr, alg, src, player.Config{})
+}
+
 // SessionQoE scores a rendering with the content-blind kernel (the
 // objective baseline ABRs optimize).
 func SessionQoE(r *Rendering) float64 { return abr.SessionQoE(r) }
@@ -215,9 +256,13 @@ func WeightedSessionQoE(r *Rendering, weights []float64) float64 {
 // at most once per video (cached in memory and optionally on disk), and
 // the manifest carries the SenseiWeights extension over real TCP.
 type (
-	// DASHOrigin is the multi-tenant origin: catalog, weight store and
-	// session control plane. It implements http.Handler.
+	// DASHOrigin is the multi-tenant origin: catalog, versioned weight
+	// service and session control plane. It implements http.Handler.
 	DASHOrigin = origin.Origin
+	// DASHWeightService is the origin's versioned sensitivity-profile
+	// service: singleflight cold-start profiling, on-disk persistence with
+	// epochs, and atomic hot refresh (Publish / RefreshWindow).
+	DASHWeightService = origin.WeightService
 	// DASHOriginConfig assembles a DASHOrigin.
 	DASHOriginConfig = origin.Config
 	// DASHServer binds a DASHOrigin to a TCP listener with graceful,
@@ -274,6 +319,13 @@ type (
 	FleetOutcome = fleet.SessionOutcome
 	// FleetABR names a fleet-selectable adaptation algorithm.
 	FleetABR = fleet.ABR
+	// FleetRefreshSpec schedules a mid-run catalog-wide weight refresh:
+	// once every session has joined (plus After of grace), new weights are
+	// published and every active session must converge on the new epoch —
+	// the report's reconciliation asserts it.
+	FleetRefreshSpec = fleet.RefreshSpec
+	// FleetRefreshOutcome reports what the scheduled refresh did.
+	FleetRefreshOutcome = fleet.RefreshOutcome
 )
 
 // The ABR algorithms a fleet can mix.

