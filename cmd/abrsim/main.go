@@ -103,14 +103,16 @@ func main() {
 // loadTraces reads measurement files or synthesizes one trace.
 func loadTraces(files, kind string, mbps float64, seed uint64) ([]*trace.Trace, error) {
 	if files == "" {
-		k := trace.KindHSDPA
-		if kind == "fcc" {
-			k = trace.KindFCC
-		}
-		return []*trace.Trace{trace.Generate(trace.GenSpec{
-			Name: fmt.Sprintf("%s-%.1fM", kind, mbps), Kind: k,
+		spec := trace.GenSpec{
+			Name: fmt.Sprintf("%s-%.1fM", kind, mbps), Kind: trace.Kind(kind),
 			MeanBps: mbps * 1e6, Seconds: 900, Seed: seed,
-		})}, nil
+		}
+		// A typo'd family used to silently run as a different one; fail
+		// loudly instead.
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return []*trace.Trace{trace.Generate(spec)}, nil
 	}
 	var out []*trace.Trace
 	for _, path := range strings.Split(files, ",") {

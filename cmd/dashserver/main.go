@@ -14,15 +14,25 @@
 //
 //	curl -X POST localhost:8428/refresh -d '{"video":"Soccer1","from":10,"to":16}'
 //
+// With -autopilot the loop closes without the operator: clients post
+// per-chunk ratings to POST /rating (session id, chunk, weight epoch, 1–5
+// score), a sharded aggregator accumulates the evidence per chunk window,
+// and once a confidence gate passes (-ap-samples ratings in a window,
+// -ap-interval since the video's last refresh, implied weight change past
+// -ap-delta) the origin re-profiles that window and publishes the next
+// epoch on its own. Stale-epoch ratings are counted but quarantined.
+//
 // Usage:
 //
 //	dashserver [-addr 127.0.0.1:8428] [-videos all|Name1,Name2] [-excerpt N]
 //	           [-timescale 0.01] [-profile] [-pop 20000] [-weightdir weights]
-//	           [-idle 2m]
+//	           [-idle 2m] [-autopilot] [-ap-window 4] [-ap-samples 32]
+//	           [-ap-interval 30s] [-ap-delta 0.25]
 //
 // Endpoints: POST /session, GET /v/<video>/manifest.mpd,
 // GET /v/<video>/segment/<chunk>/<rung>?sid=..., GET /weights?sid=...,
-// POST /refresh, DELETE /session/<id>, GET /stats.
+// POST /refresh, POST /rating (with -autopilot), DELETE /session/<id>,
+// GET /stats.
 package main
 
 import (
@@ -64,6 +74,11 @@ func main() {
 	popSize := flag.Int("pop", 20000, "rater population size for profiling")
 	weightDir := flag.String("weightdir", "weights", "directory persisting profiled weights (\"\" = memory only)")
 	idle := flag.Duration("idle", 2*time.Minute, "idle session expiry")
+	autopilot := flag.Bool("autopilot", false, "close the feedback loop: accept POST /rating and refresh chunk windows autonomously (requires -profile)")
+	apWindow := flag.Int("ap-window", 0, "autopilot chunk-window size (0 = default)")
+	apSamples := flag.Int("ap-samples", 0, "autopilot min ratings per window before a refresh (0 = default)")
+	apInterval := flag.Duration("ap-interval", 0, "autopilot min spacing between refreshes of one video (0 = default)")
+	apDelta := flag.Float64("ap-delta", 0, "autopilot hysteresis: min implied weight change (0 = default)")
 	flag.Parse()
 
 	var catalog []*sensei.Video
@@ -112,6 +127,19 @@ func main() {
 		}
 	}
 
+	var ingestCfg *sensei.IngestConfig
+	if *autopilot {
+		if profileFn == nil {
+			fail(fmt.Errorf("-autopilot requires -profile (autonomous refreshes re-profile chunk windows)"))
+		}
+		ingestCfg = &sensei.IngestConfig{
+			WindowChunks:   *apWindow,
+			MinSamples:     *apSamples,
+			MinInterval:    *apInterval,
+			MinWeightDelta: *apDelta,
+		}
+	}
+
 	traces, defaultTrace := offeredTraces()
 	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
 		Catalog:            catalog,
@@ -121,6 +149,7 @@ func main() {
 		DefaultTrace:       defaultTrace,
 		TimeScale:          *timescale,
 		SessionIdleTimeout: *idle,
+		Ingest:             ingestCfg,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -141,6 +170,9 @@ func main() {
 	fmt.Println("join: POST /session {\"video\":..., \"trace\":...}; stats: GET /stats")
 	if *profile {
 		fmt.Println("live refresh: POST /refresh {\"video\":..., \"from\":..., \"to\":...} re-profiles a chunk window and bumps the weight epoch mid-stream")
+	}
+	if *autopilot {
+		fmt.Println("closed loop: POST /rating {\"session_id\":..., \"chunk\":..., \"epoch\":..., \"rating\":1-5} feeds the autopilot; accumulated evidence refreshes chunk windows autonomously")
 	}
 
 	stop := make(chan os.Signal, 1)

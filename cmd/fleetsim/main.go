@@ -11,7 +11,7 @@
 //	fleetsim [-sessions 64] [-videos Soccer1,Tank,Mountain,Lava] [-excerpt 8]
 //	         [-abrs ratebased,bola,mpc,sensei-mpc] [-traces fast=32,slow=4]
 //	         [-timescales 0.05] [-workers 0] [-timeout 0] [-refresh 0]
-//	         [-noweights] [-json] [-outcomes] [-v]
+//	         [-closedloop] [-noweights] [-json] [-outcomes] [-v]
 //
 // -traces lists flat traces as name=Mbps pairs; -timescales is the
 // wall-clock compression mix. Sessions walk the full video×trace×abr×
@@ -21,8 +21,13 @@
 // -timeout bounds the whole run (0 = none). -refresh schedules a mid-run
 // catalog-wide sensitivity refresh (live-plane scenario): the report gains
 // per-epoch QoE cohorts and reconciliation fails unless every session
-// still streaming converged on the new epoch. -json emits the report as
-// JSON (with per-session rows under -outcomes) instead of text.
+// still streaming converged on the new epoch. -closedloop runs the
+// feedback-ingestion scenario instead: every session carries a mos-backed
+// rater persona posting one score per rendered chunk, the origin's
+// autopilot turns the evidence into autonomous epoch bumps (no operator
+// refresh), and the report gains an ingest ledger reconciled exactly
+// against /stats. -json emits the report as JSON (with per-session rows
+// under -outcomes) instead of text.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrently running sessions (0 = all)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = none)")
 	refresh := flag.Duration("refresh", 0, "publish a catalog-wide weight refresh this long after every session joined (0 = none); the run fails unless every session converges on the new epoch")
+	closedLoop := flag.Bool("closedloop", false, "attach rater cohorts and enable the origin's ingest autopilot (autonomous epoch bumps from live ratings)")
 	noWeights := flag.Bool("noweights", false, "serve weightless manifests (skip sensitivity profiling)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	outcomes := flag.Bool("outcomes", false, "include per-session rows in the JSON report")
@@ -108,6 +114,12 @@ func main() {
 			After:   *refresh,
 			Weights: fleet.ReversedSensitivity,
 		}
+	}
+	if *closedLoop {
+		if *noWeights {
+			fail(fmt.Errorf("-closedloop needs profiled weights (drop -noweights)"))
+		}
+		cfg.Raters = &fleet.RaterSpec{}
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }

@@ -2,16 +2,26 @@
 //
 // Usage:
 //
-//	senseibench [-mode quick|full] [-benchjson file] [experiment ...]
+//	senseibench [-mode quick|full] [-benchjson file]
+//	            [-check] [-baseline BENCH_baseline.json] [-checktol 4]
+//	            [experiment ...]
 //
 // With no arguments it runs every experiment. Experiment ids: table1, fig1,
 // fig2, fig3, fig4, fig5, fig6, fig12a, fig12b, fig12c, fig13, fig14,
 // fig15, fig16, fig17, fig18, fig20, sanity.
 //
-// With -benchjson, per-experiment wall-clock and a planner micro-benchmark
-// (tree search vs brute-force oracle) are written as JSON, giving CI a
-// perf trajectory across PRs (BENCH_baseline.json holds the committed
-// baseline).
+// With -benchjson, per-experiment wall-clock and the subsystem
+// micro-benchmarks (planner tree search vs brute-force oracle, origin
+// segment path, fleet throughput, weight-refresh latencies, ingest
+// ratings/sec) are written as JSON, giving CI a perf trajectory across PRs
+// (BENCH_baseline.json holds the committed baseline).
+//
+// With -check the same micro-benchmarks run and are compared against the
+// committed baseline within a tolerance factor (-checktol, default 4x —
+// generous because CI machines vary); any metric regressing past it exits
+// non-zero. Throughput metrics may not drop below baseline/tol, latency
+// metrics may not exceed baseline*tol; baseline fields that are zero or
+// absent are skipped, so older baselines stay checkable.
 package main
 
 import (
@@ -21,11 +31,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"sensei/internal/abr"
 	"sensei/internal/experiments"
 	"sensei/internal/fleet"
+	"sensei/internal/ingest"
 	"sensei/internal/origin"
 	"sensei/internal/player"
 	"sensei/internal/trace"
@@ -44,6 +56,7 @@ type benchReport struct {
 	Origin         originBench        `json:"origin"`
 	Fleet          fleetBench         `json:"fleet"`
 	Refresh        refreshBench       `json:"refresh"`
+	Ingest         ingestBench        `json:"ingest"`
 	ExperimentSec  map[string]float64 `json:"experiment_sec"`
 	TotalSec       float64            `json:"total_sec"`
 	ExperimentList []string           `json:"experiment_list"`
@@ -175,6 +188,46 @@ func refreshMicroBench() (refreshBench, error) {
 	return out, nil
 }
 
+// ingestBench measures the feedback plane's rating hot path: one shard
+// lock, a window fold and a gate check per call (internal/ingest), with the
+// gate pinned shut so no campaign runs.
+type ingestBench struct {
+	RatingsPerSec float64 `json:"ratings_per_sec"`
+}
+
+// benchEpoch1 is the constant weight plane the ingest bench runs against.
+type benchEpoch1 struct{}
+
+func (benchEpoch1) EpochOf(string) uint64 { return 1 }
+func (benchEpoch1) RefreshWindow(string, int, int) (uint64, error) {
+	return 0, fmt.Errorf("bench: gate must never pass")
+}
+
+// ingestMicroBench mirrors BenchmarkIngest.
+func ingestMicroBench() (ingestBench, error) {
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		return ingestBench{}, err
+	}
+	v, err := full.Excerpt(0, 8)
+	if err != nil {
+		return ingestBench{}, err
+	}
+	plane, err := ingest.New(ingest.Config{MinWeightDelta: 1e9}, benchEpoch1{}, nil)
+	if err != nil {
+		return ingestBench{}, err
+	}
+	defer plane.Close()
+	const ratings = 200000
+	start := time.Now()
+	for i := 0; i < ratings; i++ {
+		if _, err := plane.Ingest(v, i%v.NumChunks(), 1, 1+i%5); err != nil {
+			return ingestBench{}, err
+		}
+	}
+	return ingestBench{RatingsPerSec: ratings / time.Since(start).Seconds()}, nil
+}
+
 // fleetBench summarizes one end-to-end fleet run (internal/fleet): a
 // 16-session mixed-ABR fleet over 4 videos with shaping effectively
 // disabled, so sessions/sec tracks harness + client + origin overhead
@@ -220,9 +273,47 @@ func fleetMicroBench() (fleetBench, error) {
 	}, nil
 }
 
+// checkAgainstBaseline compares a fresh report to the committed baseline
+// within a tolerance factor and returns the list of regressions. Baseline
+// fields that are zero (absent in an older file) are skipped.
+func checkAgainstBaseline(cur, base benchReport, tol float64) []string {
+	var regressions []string
+	// Throughput-shaped metrics must not drop below baseline/tol.
+	higher := func(name string, got, want float64) {
+		if want > 0 && got < want/tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f vs baseline %.1f (floor %.1f at %.1fx tolerance)", name, got, want, want/tol, tol))
+		}
+	}
+	// Latency-shaped metrics must not exceed baseline*tol.
+	lower := func(name string, got, want float64) {
+		if want > 0 && got > want*tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f vs baseline %.1f (ceiling %.1f at %.1fx tolerance)", name, got, want, want*tol, tol))
+		}
+	}
+	higher("planner speedup", cur.Planner.Speedup, base.Planner.Speedup)
+	higher("origin segments/s", cur.Origin.SegmentsPerSec, base.Origin.SegmentsPerSec)
+	higher("fleet sessions/s", cur.Fleet.SessionsPerSec, base.Fleet.SessionsPerSec)
+	higher("ingest ratings/s", cur.Ingest.RatingsPerSec, base.Ingest.RatingsPerSec)
+	lower("refresh publish ns/op", cur.Refresh.PublishNsPerOp, base.Refresh.PublishNsPerOp)
+	lower("refresh snapshot ns/op", cur.Refresh.SnapshotNsPerOp, base.Refresh.SnapshotNsPerOp)
+	// The experiment wall-clock is only comparable when this run covered
+	// the same experiments at the same mode as the baseline: a subset run
+	// would trivially pass (masking a slowdown), a -mode full run against
+	// a quick baseline would spuriously fail.
+	if cur.Mode == base.Mode && slices.Equal(cur.ExperimentList, base.ExperimentList) {
+		lower("experiments total sec", cur.TotalSec, base.TotalSec)
+	}
+	return regressions
+}
+
 func main() {
 	mode := flag.String("mode", "quick", "experiment scale: quick or full")
 	benchJSON := flag.String("benchjson", "", "write a JSON perf baseline to this file")
+	check := flag.Bool("check", false, "compare this run against -baseline and exit non-zero on regression")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline for -check")
+	checkTol := flag.Float64("checktol", 4, "regression tolerance factor for -check")
 	flag.Parse()
 
 	var labMode experiments.Mode
@@ -295,7 +386,7 @@ func main() {
 	}
 	report.TotalSec = time.Since(total).Seconds()
 
-	if *benchJSON != "" {
+	if *benchJSON != "" || *check {
 		report.Planner = plannerMicroBench()
 		ob, err := originMicroBench()
 		if err != nil {
@@ -315,6 +406,17 @@ func main() {
 			os.Exit(1)
 		}
 		report.Refresh = rb
+		ib, err := ingestMicroBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: ingest bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Ingest = ib
+		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
+			report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec,
+			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.Ingest.RatingsPerSec, report.TotalSec)
+	}
+	if *benchJSON != "" {
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "senseibench: %v\n", err)
@@ -330,8 +432,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "senseibench: closing %s: %v\n", *benchJSON, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[perf baseline written to %s: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, total %.1fs]\n",
-			*benchJSON, report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec,
-			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.TotalSec)
+		fmt.Printf("[perf baseline written to %s]\n", *benchJSON)
+	}
+	if *check {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base benchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: decoding %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		if regressions := checkAgainstBaseline(report, base, *checkTol); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "senseibench: PERF REGRESSION vs %s:\n", *baselinePath)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  - %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("[perf check passed against %s at %.1fx tolerance]\n", *baselinePath, *checkTol)
 	}
 }

@@ -6,6 +6,14 @@
 // exists for: one diverging client corrupts cohort comparisons, and the
 // exact-ledger check catches it.
 //
+// The second run closes the feedback loop: every session carries a
+// mos-backed rater persona posting one 1–5 score per rendered chunk, and
+// the origin's ingest autopilot converts the accumulated evidence into
+// autonomous sensitivity refreshes mid-run — no POST /refresh anywhere.
+// Sessions that span an epoch bump show up as a "1→N" cohort in the
+// per-epoch QoE breakdown, and the ingest ledger (posted / accepted /
+// quarantined, refreshes triggered / applied) reconciles exactly too.
+//
 //	go run ./examples/fleet
 package main
 
@@ -40,19 +48,43 @@ func main() {
 		}),
 	}
 
-	report, err := sensei.RunFleet(context.Background(), sensei.FleetConfig{
+	base := sensei.FleetConfig{
 		Sessions:   48,
 		Videos:     catalog,
 		Traces:     traces,
 		ABRs:       []sensei.FleetABR{sensei.FleetRateBased, sensei.FleetBOLA, sensei.FleetMPC, sensei.FleetSensei},
 		TimeScales: []float64{0.05, 0.1},
 		Profile:    func(v *sensei.Video) ([]float64, error) { return v.TrueSensitivity(), nil },
-	})
+	}
+
+	fmt.Println("== mixed fleet ==")
+	report, err := sensei.RunFleet(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(report.Render())
 	if report.Failed > 0 || !report.Reconciliation.Ok {
 		log.Fatal("fleet did not reconcile — client and origin ledgers disagree")
+	}
+
+	// Round two: the same mix, loop closed. Rater cohorts post per-chunk
+	// scores; the autopilot refreshes chunk windows on its own once the
+	// confidence gate (samples, interval, hysteresis) passes.
+	closed := base
+	closed.Raters = &sensei.FleetRaterSpec{}
+	fmt.Println("\n== closed loop ==")
+	report, err = sensei.RunFleet(context.Background(), closed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Render())
+	if report.Failed > 0 || !report.Reconciliation.Ok {
+		log.Fatal("closed-loop fleet did not reconcile")
+	}
+	if ing := report.Origin.Ingest; ing != nil && ing.RefreshesApplied > 0 {
+		fmt.Printf("\nthe crowd drove %d autonomous epoch bump(s); epochs now: %v\n",
+			ing.RefreshesApplied, report.Origin.WeightEpochs)
+	} else {
+		fmt.Println("\nno refresh fired this run — the crowd's evidence never cleared the confidence gate")
 	}
 }

@@ -90,10 +90,25 @@ type Client struct {
 	// client follows the manifest + X-Sensei-Weight-Epoch + GET /weights
 	// refresh protocol instead.
 	Sensitivity sensitivity.Source
+	// Rater optionally closes the feedback loop: after each rendered chunk
+	// it is asked for a 1–5 score, and every score it produces is posted to
+	// the origin's POST /rating stamped with the weight epoch that chunk's
+	// decision ran under. mos.Population's SessionRater is the standard
+	// implementation. Requires an origin with feedback ingest enabled.
+	Rater Rater
 
 	sid          string
 	videoName    string
 	sessionScale float64
+}
+
+// Rater produces an in-player rating for the chunk that just finished
+// rendering. r is the session's rendering so far — chunks up to and
+// including i are final, later entries are zero — and ok=false skips the
+// chunk (a distracted user rates nothing). Implementations are called
+// sequentially, once per chunk, in playback order.
+type Rater interface {
+	RateChunk(r *qoe.Rendering, i int) (rating int, ok bool)
 }
 
 // Session is the outcome of one streamed playback.
@@ -114,6 +129,14 @@ type Session struct {
 	// WeightRefreshes counts mid-stream GET /weights re-fetches triggered
 	// by the epoch header advancing.
 	WeightRefreshes int
+	// RatingsPosted / RatingsAccepted / RatingsQuarantined are the
+	// closed-loop feedback ledger: every rating the session's Rater
+	// produced and posted, split by the origin's verdict (a quarantined
+	// rating carried a weight epoch the origin had already superseded).
+	// Posted always equals Accepted + Quarantined.
+	RatingsPosted      int
+	RatingsAccepted    int
+	RatingsQuarantined int
 	// RebufferVirtualSec is stalled playback in virtual seconds.
 	RebufferVirtualSec float64
 	// DownloadVirtualSec is time spent downloading segments, in virtual
@@ -442,6 +465,29 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if len(dls) > 8 {
 			dls = dls[1:]
 		}
+
+		// Close the loop: score the chunk that just rendered and post the
+		// rating stamped with the epoch its decision ran under. The reply's
+		// epoch beacon feeds the same staleness tracking as segment
+		// responses, so an autonomous refresh triggered by the fleet's own
+		// ratings still reaches this session within one chunk.
+		if c.Rater != nil {
+			if score, ok := c.Rater.RateChunk(sess.Rendering, i); ok {
+				accepted, respEpoch, err := c.postRating(ctx, i, sess.ChunkEpochs[i], score)
+				if err != nil {
+					return nil, fmt.Errorf("dash: rating chunk %d: %w", i, err)
+				}
+				sess.RatingsPosted++
+				if accepted {
+					sess.RatingsAccepted++
+				} else {
+					sess.RatingsQuarantined++
+				}
+				if respEpoch > observed {
+					observed = respEpoch
+				}
+			}
+		}
 	}
 	if err := sess.Rendering.Validate(); err != nil {
 		return nil, fmt.Errorf("dash: session produced invalid rendering: %w", err)
@@ -494,6 +540,62 @@ func (c *Client) fetchWeights(ctx context.Context, v *video.Video) (*sensitivity
 		}
 	}
 	return &sensitivity.Profile{VideoName: wr.Video, Epoch: wr.Epoch, Weights: wr.Weights}, nil
+}
+
+// ratingRequest / ratingResponse mirror the origin's POST /rating wire
+// format (see internal/origin).
+type ratingRequest struct {
+	SessionID string `json:"session_id"`
+	Chunk     int    `json:"chunk"`
+	Epoch     uint64 `json:"epoch"`
+	Rating    int    `json:"rating"`
+}
+
+type ratingResponse struct {
+	Video  string `json:"video"`
+	Chunk  int    `json:"chunk"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// postRating submits one chunk rating and returns the origin's verdict
+// (accepted vs quarantined) plus the current-epoch beacon the response
+// carries.
+func (c *Client) postRating(ctx context.Context, chunk int, epoch uint64, rating int) (accepted bool, respEpoch uint64, err error) {
+	body, err := json.Marshal(ratingRequest{SessionID: c.sid, Chunk: chunk, Epoch: epoch, Rating: rating})
+	if err != nil {
+		return false, 0, fmt.Errorf("dash: encoding rating: %w", err)
+	}
+	reqCtx, cancel := c.requestContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/rating", bytes.NewReader(body))
+	if err != nil {
+		return false, 0, fmt.Errorf("dash: rating request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return false, 0, fmt.Errorf("dash: posting rating: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return false, 0, fmt.Errorf("dash: posting rating: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if h := resp.Header.Get(WeightEpochHeader); h != "" {
+		respEpoch, _ = strconv.ParseUint(h, 10, 64)
+	}
+	var rr ratingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return false, 0, fmt.Errorf("dash: decoding rating response: %w", err)
+	}
+	switch rr.Status {
+	case "accepted":
+		return true, respEpoch, nil
+	case "quarantined":
+		return false, respEpoch, nil
+	}
+	return false, 0, fmt.Errorf("dash: origin returned rating status %q", rr.Status)
 }
 
 // validateLadder checks the manifest ladder against the local video model.

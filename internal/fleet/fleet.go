@@ -24,6 +24,7 @@ import (
 
 	"sensei/internal/abr"
 	"sensei/internal/dash"
+	"sensei/internal/ingest"
 	"sensei/internal/mos"
 	"sensei/internal/origin"
 	"sensei/internal/par"
@@ -100,6 +101,13 @@ type Config struct {
 	// the report breaks QoE out per epoch cohort and reconciles the epochs
 	// against /stats.
 	Refresh *RefreshSpec
+	// Raters optionally closes the feedback loop: every session gets a
+	// mos-backed rater persona posting one 1–5 score per rendered chunk to
+	// the origin's POST /rating, and the origin's ingest autopilot converts
+	// accumulated evidence into autonomous epoch bumps mid-run — no
+	// operator refresh involved. The report gains an ingest ledger
+	// reconciled exactly against /stats. Requires Profile.
+	Raters *RaterSpec
 	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
 	// default).
 	SessionIdleTimeout time.Duration
@@ -122,6 +130,36 @@ func ReversedSensitivity(v *video.Video) ([]float64, error) {
 		out[i] = w[len(w)-1-i]
 	}
 	return out, nil
+}
+
+// RaterSpec configures the closed-loop scenario's rater cohorts and the
+// origin's ingest autopilot.
+type RaterSpec struct {
+	// PopulationSize sizes the shared rater pool sessions draw their
+	// personas from (default 512).
+	PopulationSize int
+	// Seed keys the pool (default 0x5e11). The whole fleet's ratings are a
+	// pure function of (seed, session index, playback).
+	Seed uint64
+	// Ingest overrides the origin's autopilot tuning; nil uses
+	// FleetIngestDefaults().
+	Ingest *ingest.Config
+}
+
+// FleetIngestDefaults returns autopilot tuning matched to fleet harness
+// scales: runs last seconds of wall clock at aggressive timescales, so the
+// gate's sample floor, refresh interval and hysteresis are proportionally
+// tighter than the production defaults — autonomous bumps must be able to
+// fire while the fleet is still mid-stream.
+func FleetIngestDefaults() ingest.Config {
+	return ingest.Config{
+		WindowChunks:   4,
+		MinSamples:     12,
+		MinInterval:    200 * time.Millisecond,
+		MinWeightDelta: 0.05,
+		Gain:           2,
+		DecayHalfLife:  10 * time.Minute, // effectively no decay within a run
+	}
 }
 
 // RefreshSpec schedules the fleet's mid-run weight refresh.
@@ -194,6 +232,16 @@ func (c *Config) validate() error {
 			// first profile; legal at the origin, but the scenario exists to
 			// exercise mid-stream refresh of already-weighted sessions.
 			return fmt.Errorf("fleet: refresh scheduled without a profile function")
+		}
+	}
+	if c.Raters != nil {
+		if c.Profile == nil {
+			// Autonomous refreshes re-profile chunk windows with the profile
+			// function; a weightless catalog has nothing to refresh.
+			return fmt.Errorf("fleet: rater cohorts scheduled without a profile function")
+		}
+		if c.Raters.PopulationSize < 0 {
+			return fmt.Errorf("fleet: negative rater population %d", c.Raters.PopulationSize)
 		}
 	}
 	return nil
@@ -277,6 +325,35 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Sessions > maxSessions {
 		maxSessions = cfg.Sessions
 	}
+	// The closed loop: rater personas on the client side, the ingest
+	// autopilot on the origin side.
+	var ingestCfg *ingest.Config
+	var raters []dash.Rater
+	if cfg.Raters != nil {
+		ic := FleetIngestDefaults()
+		if cfg.Raters.Ingest != nil {
+			ic = *cfg.Raters.Ingest
+		}
+		ingestCfg = &ic
+		size := cfg.Raters.PopulationSize
+		if size == 0 {
+			size = 512
+		}
+		seed := cfg.Raters.Seed
+		if seed == 0 {
+			seed = 0x5e11
+		}
+		pop, err := mos.NewPopulation(mos.PopulationConfig{Size: size, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rater pool: %w", err)
+		}
+		raters = make([]dash.Rater, cfg.Sessions)
+		for k := range raters {
+			if raters[k], err = pop.SessionRater(k); err != nil {
+				return nil, fmt.Errorf("fleet: rater for session %d: %w", k, err)
+			}
+		}
+	}
 	o, err := origin.New(origin.Config{
 		Catalog:            cfg.Videos,
 		Profile:            cfg.Profile,
@@ -285,6 +362,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		TimeScale:          scales[0],
 		SessionIdleTimeout: cfg.SessionIdleTimeout,
 		MaxSessions:        maxSessions,
+		Ingest:             ingestCfg,
 		Logf:               cfg.Logf,
 	})
 	if err != nil {
@@ -380,12 +458,29 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// report must show, not a reason to abort the rest of the fleet.
 	_ = par.ForEachN(cfg.Sessions, workers, func(k int) error {
 		a := cfg.assign(k, traceNames, abrs, scales)
-		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a)
+		var rater dash.Rater
+		if raters != nil {
+			rater = raters[k]
+		}
+		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a, rater)
 		outcomes[k].FinishedSec = time.Since(start).Seconds()
 		return nil
 	})
 	close(fleetDone)
 	<-refreshDone
+	// Let the ingest autopilot land every triggered refresh before the
+	// ledger is read: a campaign still in flight would leave triggered >
+	// applied and a moving ProfilesRefreshed, turning reconciliation into a
+	// race. Cancellation is stripped for the same reason fetchStats strips
+	// it — a timed-out fleet still needs a settled report.
+	if ingestCfg != nil {
+		drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+		err := o.DrainIngest(drainCtx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: draining ingest autopilot: %w", err)
+		}
+	}
 	elapsed := time.Since(start)
 
 	// Read the ledger over the wire, like any external monitor would.
@@ -397,7 +492,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // runSession streams one fleet slot end to end and captures its outcome.
-func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment) SessionOutcome {
+func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment, rater dash.Rater) SessionOutcome {
 	out := SessionOutcome{
 		Index:     k,
 		Video:     a.video.Name,
@@ -417,6 +512,7 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 		TimeScale:    a.timeScale,
 		HTTP:         httpc,
 		MaxBufferSec: maxBufferSec,
+		Rater:        rater,
 	}
 	sess, err := c.Stream(ctx, a.video)
 	if err != nil {
@@ -449,6 +545,9 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 		out.FirstEpoch = sess.ChunkEpochs[0]
 	}
 	out.WeightRefreshes = sess.WeightRefreshes
+	out.RatingsPosted = sess.RatingsPosted
+	out.RatingsAccepted = sess.RatingsAccepted
+	out.RatingsQuarantined = sess.RatingsQuarantined
 	// Leave with cancellation stripped: a fleet deadline firing between a
 	// session's last segment and its hang-up must not turn a completed
 	// session into a spurious ledger mismatch (the client's own

@@ -49,6 +49,12 @@ type SessionOutcome struct {
 	FirstEpoch      uint64 `json:"first_epoch,omitempty"`
 	WeightEpoch     uint64 `json:"weight_epoch,omitempty"`
 	WeightRefreshes int    `json:"weight_refreshes,omitempty"`
+	// RatingsPosted / RatingsAccepted / RatingsQuarantined are the
+	// session's closed-loop feedback ledger (zero unless the fleet ran
+	// rater cohorts); posted always equals accepted + quarantined.
+	RatingsPosted      int `json:"ratings_posted,omitempty"`
+	RatingsAccepted    int `json:"ratings_accepted,omitempty"`
+	RatingsQuarantined int `json:"ratings_quarantined,omitempty"`
 	// FinishedSec is when the session's stream completed, on the run
 	// clock — reconciliation uses it to tell a session that legitimately
 	// finished around a weight refresh from one the bump failed to reach.
@@ -132,12 +138,28 @@ type Report struct {
 	// Refresh reports the scheduled mid-run weight refresh, when one was
 	// configured.
 	Refresh *RefreshOutcome `json:"refresh,omitempty"`
+	// Ingest is the fleet-side closed-loop ledger (nil unless rater
+	// cohorts ran): the client-summed rating counts reconciliation matches
+	// exactly against the origin's /stats ingest counters.
+	Ingest *IngestLedger `json:"ingest,omitempty"`
 	// Origin is the server's /stats snapshot after the fleet drained.
 	Origin origin.Stats `json:"origin"`
 	// Reconciliation cross-checks the two ledgers.
 	Reconciliation Reconciliation `json:"reconciliation"`
 	// Outcomes holds the per-session rows when Config.KeepOutcomes is set.
 	Outcomes []SessionOutcome `json:"outcomes,omitempty"`
+}
+
+// IngestLedger sums the fleet's client-side rating counters. Reconciliation
+// demands it matches the origin's ingest stats exactly: every rating a
+// client posted was either accepted into a window's evidence or
+// quarantined for epoch staleness, and nothing else reached the aggregator.
+type IngestLedger struct {
+	RatingsPosted      int64 `json:"ratings_posted"`
+	RatingsAccepted    int64 `json:"ratings_accepted"`
+	RatingsQuarantined int64 `json:"ratings_quarantined"`
+	// SessionsRated counts sessions that posted at least one rating.
+	SessionsRated int `json:"sessions_rated"`
 }
 
 // buildReport aggregates outcomes and reconciles them against the origin's
@@ -214,6 +236,22 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, refresh *RefreshOut
 	finish(byABR, r.ByABR)
 	finish(byTrace, r.ByTrace)
 	finish(byEpoch, r.ByEpoch)
+	// A closed-loop run (the origin reports ingest counters) gets the
+	// client-side rating ledger, failed sessions included: whatever a
+	// session posted before dying was still counted by the origin.
+	if st.Ingest != nil {
+		led := &IngestLedger{}
+		for i := range outcomes {
+			o := &outcomes[i]
+			led.RatingsPosted += int64(o.RatingsPosted)
+			led.RatingsAccepted += int64(o.RatingsAccepted)
+			led.RatingsQuarantined += int64(o.RatingsQuarantined)
+			if o.RatingsPosted > 0 {
+				led.SessionsRated++
+			}
+		}
+		r.Ingest = led
+	}
 	r.RebufferSec = percentilesOf(rebuf)
 	r.ThroughputMbps = percentilesOf(thrMbps)
 	r.MeanQoE = stats.Mean(qoes)
@@ -283,6 +321,42 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 		if originEpoch := st.WeightEpochs[o.Video]; o.WeightEpoch > originEpoch {
 			problem("session %d ended on epoch %d of %q, origin only published %d",
 				o.Index, o.WeightEpoch, o.Video, originEpoch)
+		}
+	}
+	// Closed-loop ingest ledger: the client-side rating sums and the
+	// origin's aggregator counters must agree exactly, the autopilot must
+	// have settled (every trigger applied, no errors), and every epoch bump
+	// the weight service counted must be attributable — an autonomous
+	// ingest refresh or the scheduled operator refresh, nothing else.
+	if st.Ingest != nil && r.Ingest != nil {
+		led, ing := r.Ingest, st.Ingest
+		if led.RatingsPosted != led.RatingsAccepted+led.RatingsQuarantined {
+			problem("fleet posted %d ratings but accounts for %d accepted + %d quarantined",
+				led.RatingsPosted, led.RatingsAccepted, led.RatingsQuarantined)
+		}
+		if led.RatingsAccepted != ing.RatingsAccepted {
+			problem("fleet counted %d accepted ratings, origin ingest %d", led.RatingsAccepted, ing.RatingsAccepted)
+		}
+		if led.RatingsQuarantined != ing.RatingsQuarantined {
+			problem("fleet counted %d quarantined ratings, origin ingest %d", led.RatingsQuarantined, ing.RatingsQuarantined)
+		}
+		if ing.RatingsRejected != 0 {
+			problem("origin rejected %d malformed ratings", ing.RatingsRejected)
+		}
+		if ing.RefreshErrors != 0 {
+			problem("%d autonomous refreshes errored", ing.RefreshErrors)
+		}
+		if ing.RefreshesTriggered != ing.RefreshesApplied {
+			problem("autopilot triggered %d refreshes but applied %d (unsettled at /stats time)",
+				ing.RefreshesTriggered, ing.RefreshesApplied)
+		}
+		expectedRefreshes := ing.RefreshesApplied
+		if r.Refresh != nil && r.Refresh.Applied {
+			expectedRefreshes += int64(len(r.Refresh.Epochs))
+		}
+		if st.ProfilesRefreshed != expectedRefreshes {
+			problem("/stats counts %d epoch bumps, %d are attributable (autonomy violated?)",
+				st.ProfilesRefreshed, expectedRefreshes)
 		}
 	}
 	if r.Refresh != nil {
@@ -380,6 +454,18 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&b, "refresh: published at %.2fs across %d videos; %d sessions converged on the new epoch, %d finished before it could reach them\n",
 				r.Refresh.AppliedSec, len(r.Refresh.Epochs), r.Refresh.SessionsConverged, r.Refresh.SessionsFinishedEarly)
 		}
+	}
+
+	if r.Ingest != nil {
+		fmt.Fprintf(&b, "ingest: %d ratings from %d sessions (%d accepted, %d quarantined)",
+			r.Ingest.RatingsPosted, r.Ingest.SessionsRated, r.Ingest.RatingsAccepted, r.Ingest.RatingsQuarantined)
+		if ing := r.Origin.Ingest; ing != nil {
+			fmt.Fprintf(&b, "; autopilot: %d refreshes triggered, %d applied", ing.RefreshesTriggered, ing.RefreshesApplied)
+			if ing.RefreshErrors > 0 || ing.TriggersDropped > 0 {
+				fmt.Fprintf(&b, " (%d errored, %d dropped)", ing.RefreshErrors, ing.TriggersDropped)
+			}
+		}
+		b.WriteByte('\n')
 	}
 
 	if r.Reconciliation.Ok {

@@ -1,0 +1,163 @@
+package mos
+
+import (
+	"testing"
+
+	"sensei/internal/qoe"
+	"sensei/internal/video"
+)
+
+func chunkTestVideo(t testing.TB) *video.Video {
+	t.Helper()
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Excerpt(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestChunkTrueQoEBounds(t *testing.T) {
+	v := chunkTestVideo(t)
+	pristine := qoe.NewRendering(v)
+	for i := 0; i < v.NumChunks(); i++ {
+		q := ChunkTrueQoE(pristine, i)
+		if q < 0 || q > 1 {
+			t.Fatalf("chunk %d: %v outside [0,1]", i, q)
+		}
+		// A pristine chunk has zero visual deficit only at the top rung of
+		// an ideal codec; the proxy leaves a small residual, so demand
+		// near-1 rather than exactly 1.
+		if q < 0.8 {
+			t.Fatalf("pristine chunk %d scored %v", i, q)
+		}
+	}
+	// Degrading a chunk must not raise its score, and stalls must hurt.
+	bad := pristine.WithRung(3, 0).WithStall(3, 4)
+	if got, was := ChunkTrueQoE(bad, 3), ChunkTrueQoE(pristine, 3); got >= was {
+		t.Fatalf("degraded chunk scored %v, pristine %v", got, was)
+	}
+	if q := ChunkTrueQoE(pristine.WithStall(0, 500), 0); q != 0 {
+		t.Fatalf("catastrophic stall not clamped to 0: %v", q)
+	}
+}
+
+// TestChunkTrueQoEMatchesWholeVideo pins the per-chunk restriction to the
+// whole-video ground truth: averaging 1 − w*_i d_i over chunks is TrueQoE
+// before its final clamp.
+func TestChunkTrueQoEMatchesWholeVideo(t *testing.T) {
+	v := chunkTestVideo(t)
+	r := qoe.NewRendering(v).WithStall(5, 0.2)
+	var sum float64
+	for i := 0; i < v.NumChunks(); i++ {
+		sum += ChunkTrueQoE(r, i)
+	}
+	mean := sum / float64(v.NumChunks())
+	whole := TrueQoE(r)
+	// The per-chunk clamp can only raise the mean relative to the
+	// whole-video form; with moderate degradation neither clamp binds and
+	// the two agree exactly.
+	if d := mean - whole; d < -1e-12 || d > 1e-12 {
+		t.Fatalf("per-chunk mean %v vs whole-video %v", mean, whole)
+	}
+}
+
+func TestSessionRaterDeterministicAndDistinct(t *testing.T) {
+	v := chunkTestVideo(t)
+	r := qoe.NewRendering(v).WithRung(1, 0).WithStall(4, 2)
+	pop, err := NewPopulation(PopulationConfig{Size: 64, Seed: 0xfeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop2, err := NewPopulation(PopulationConfig{Size: 64, Seed: 0xfeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		rating int
+		ok     bool
+	}
+	rate := func(p *Population, session int) []obs {
+		sr, err := p.SessionRater(session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]obs, v.NumChunks())
+		for i := range out {
+			out[i].rating, out[i].ok = sr.RateChunk(r, i)
+		}
+		return out
+	}
+	// Same population seed + session index → identical ratings, regardless
+	// of which Population instance produced them.
+	a, b := rate(pop, 7), rate(pop2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Ratings stay on the Likert scale.
+	for i, o := range a {
+		if o.ok && (o.rating < LikertMin || o.rating > LikertMax) {
+			t.Fatalf("chunk %d rating %d off scale", i, o.rating)
+		}
+	}
+	// Different sessions draw different personas/slots; across a spread of
+	// sessions the streams must not all coincide.
+	distinct := false
+	for s := 0; s < 8 && !distinct; s++ {
+		c := rate(pop, s)
+		for i := range c {
+			if c[i] != a[i] {
+				distinct = true
+				break
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("eight sessions produced identical rating streams")
+	}
+	if _, err := pop.SessionRater(-1); err == nil {
+		t.Fatal("negative session index accepted")
+	}
+}
+
+// TestSessionRaterTracksQuality sanity-checks the signal the closed loop
+// feeds on: across many raters, a heavily degraded chunk must average a
+// clearly lower score than a pristine one.
+func TestSessionRaterTracksQuality(t *testing.T) {
+	v := chunkTestVideo(t)
+	good := qoe.NewRendering(v)
+	bad := good.WithRung(2, 0).WithStall(2, 4)
+	pop, err := NewPopulation(PopulationConfig{Size: 256, Seed: 0xbead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(r *qoe.Rendering) float64 {
+		var sum, n float64
+		for s := 0; s < 256; s++ {
+			sr, err := pop.SessionRater(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if score, ok := sr.RateChunk(r, 2); ok {
+				sum += float64(score)
+				n++
+			}
+		}
+		// The integrity filters legitimately reject a sizable minority
+		// (near-pristine clips often round above the noisy reference), but
+		// a majority must get through.
+		if n < 128 {
+			t.Fatalf("only %v of 256 raters produced a score", n)
+		}
+		return sum / n
+	}
+	g, b := meanOf(good), meanOf(bad)
+	if g-b < 1 {
+		t.Fatalf("degraded chunk barely moved the crowd: good %.2f, bad %.2f", g, b)
+	}
+}

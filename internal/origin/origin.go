@@ -35,6 +35,7 @@
 package origin
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"sensei/internal/dash"
+	"sensei/internal/ingest"
 	"sensei/internal/par"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
@@ -83,6 +85,12 @@ type Config struct {
 	// MaxSessions bounds the registry (default DefaultMaxSessions);
 	// joins beyond it get 503.
 	MaxSessions int
+	// Ingest, when non-nil, enables the closed feedback loop: POST /rating
+	// feeds a sharded per-video×chunk-window aggregator whose autopilot
+	// converts accumulated rating evidence into autonomous RefreshWindow
+	// publishes (see internal/ingest). Requires Profile — autonomous
+	// refreshes re-profile chunk windows with it.
+	Ingest *ingest.Config
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -97,10 +105,11 @@ const WeightEpochHeader = dash.WeightEpochHeader
 // Origin is the multi-tenant origin: catalog, versioned weight service,
 // session registry and HTTP handler.
 type Origin struct {
-	cfg    Config
-	videos map[string]*video.Video
-	store  *WeightService
-	mux    *http.ServeMux
+	cfg      Config
+	videos   map[string]*video.Video
+	store    *WeightService
+	feedback *ingest.Plane // nil when the closed loop is disabled
+	mux      *http.ServeMux
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -158,12 +167,22 @@ func New(cfg Config) (*Origin, error) {
 		}
 		videos[v.Name] = v
 	}
+	if cfg.Ingest != nil && cfg.Profile == nil {
+		return nil, fmt.Errorf("origin: feedback ingest enabled without a profile function")
+	}
 	o := &Origin{
 		cfg:      cfg,
 		videos:   videos,
 		store:    NewWeightService(cfg.WeightDir, cfg.Profile, cfg.Logf),
 		sessions: map[string]*session{},
 		done:     make(chan struct{}),
+	}
+	if cfg.Ingest != nil {
+		plane, err := ingest.New(*cfg.Ingest, refresherAdapter{o}, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		o.feedback = plane
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /session", o.handleJoin)
@@ -172,6 +191,9 @@ func New(cfg Config) (*Origin, error) {
 	mux.HandleFunc("GET /v/{video}/segment/{chunk}/{rung}", o.handleSegment)
 	mux.HandleFunc("GET /weights", o.handleWeights)
 	mux.HandleFunc("POST /refresh", o.handleRefresh)
+	if o.feedback != nil {
+		mux.HandleFunc("POST /rating", o.handleRating)
+	}
 	mux.HandleFunc("GET /stats", o.handleStats)
 	o.mux = mux
 
@@ -184,11 +206,42 @@ func New(cfg Config) (*Origin, error) {
 	return o, nil
 }
 
-// Close stops the janitor. It does not interrupt in-flight HTTP requests;
-// Server.Shutdown drains those first.
+// Close stops the janitor and the feedback autopilot. It does not interrupt
+// in-flight HTTP requests; Server.Shutdown drains those first.
 func (o *Origin) Close() {
 	o.closeOnce.Do(func() { close(o.done) })
 	o.wg.Wait()
+	if o.feedback != nil {
+		o.feedback.Close()
+	}
+}
+
+// refresherAdapter exposes the origin's weight plane to the ingest
+// autopilot without a package cycle.
+type refresherAdapter struct{ o *Origin }
+
+func (r refresherAdapter) EpochOf(videoName string) uint64 { return r.o.store.EpochOf(videoName) }
+
+func (r refresherAdapter) RefreshWindow(videoName string, lo, hi int) (uint64, error) {
+	p, err := r.o.RefreshWeights(videoName, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return p.Epoch, nil
+}
+
+// Ingest exposes the feedback plane (nil when the closed loop is disabled).
+func (o *Origin) Ingest() *ingest.Plane { return o.feedback }
+
+// DrainIngest waits for every autonomously triggered refresh to complete,
+// so a /stats read afterwards sees settled refresh counters. Harnesses call
+// it after their clients drain and before reconciling ledgers. A no-op when
+// the closed loop is disabled.
+func (o *Origin) DrainIngest(ctx context.Context) error {
+	if o.feedback == nil {
+		return nil
+	}
+	return o.feedback.Quiesce(ctx)
 }
 
 // Weights exposes the versioned profile service (tests assert its call
@@ -440,6 +493,62 @@ func (o *Origin) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(RefreshResponse{Video: p.VideoName, Epoch: p.Epoch})
 }
 
+// RatingRequest is the POST /rating body: one 1–5 in-player score for a
+// rendered chunk, stamped with the weight epoch the chunk's ABR decision
+// ran under (the quarantine key).
+type RatingRequest struct {
+	SessionID string `json:"session_id"`
+	Chunk     int    `json:"chunk"`
+	Epoch     uint64 `json:"epoch"`
+	Rating    int    `json:"rating"`
+}
+
+// RatingResponse is the POST /rating reply. Status is "accepted" or
+// "quarantined"; Epoch is the video's CURRENT profile epoch, so a rating
+// response doubles as a staleness beacon exactly like a segment response.
+type RatingResponse struct {
+	Video  string `json:"video"`
+	Chunk  int    `json:"chunk"`
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// handleRating feeds one client rating into the ingest plane (registered
+// only when the closed loop is enabled). The rating is attributed through
+// the session — clients never name videos directly on this path — and a
+// rating is activity for the idle janitor, like any other request.
+func (o *Origin) handleRating(w http.ResponseWriter, r *http.Request) {
+	var req RatingRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		http.Error(w, "origin: bad rating body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess, ok := o.lookupSession(req.SessionID)
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", req.SessionID), http.StatusNotFound)
+		return
+	}
+	v, ok := o.videos[sess.videoName]
+	if !ok {
+		http.Error(w, fmt.Sprintf("origin: session video %q gone from catalog", sess.videoName), http.StatusInternalServerError)
+		return
+	}
+	outcome, err := o.feedback.Ingest(v, req.Chunk, req.Epoch, req.Rating)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := o.store.EpochOf(v.Name)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(WeightEpochHeader, strconv.FormatUint(cur, 10))
+	_ = json.NewEncoder(w).Encode(RatingResponse{
+		Video:  v.Name,
+		Chunk:  req.Chunk,
+		Status: outcome.String(),
+		Epoch:  cur,
+	})
+}
+
 // segmentPattern is the shared read-only payload source: handlers slice it
 // directly instead of allocating and re-filling a buffer per request (the
 // old server built a fresh 32 KiB buffer per segment). The quantum also
@@ -576,7 +685,10 @@ type Stats struct {
 	ProfilesRefreshed int64             `json:"profiles_refreshed"`
 	VideoHits         map[string]int64  `json:"video_hits"`
 	WeightEpochs      map[string]uint64 `json:"weight_epochs,omitempty"`
-	Sessions          []SessionStats    `json:"sessions,omitempty"`
+	// Ingest is the closed feedback loop's ledger (nil when disabled):
+	// rating accept/quarantine counts and the autonomous refresh counters.
+	Ingest   *ingest.Stats  `json:"ingest,omitempty"`
+	Sessions []SessionStats `json:"sessions,omitempty"`
 }
 
 // Stats snapshots the origin's counters.
@@ -610,7 +722,13 @@ func (o *Origin) Stats() Stats {
 			epochs[name] = e
 		}
 	}
+	var ing *ingest.Stats
+	if o.feedback != nil {
+		s := o.feedback.Stats()
+		ing = &s
+	}
 	return Stats{
+		Ingest:            ing,
 		ActiveSessions:    len(sessions),
 		SessionsCreated:   o.sessionsCreated.Load(),
 		SessionsClosed:    o.sessionsClosed.Load(),

@@ -23,7 +23,9 @@ const (
 type GenSpec struct {
 	// Name labels the trace.
 	Name string
-	// Kind selects the family.
+	// Kind selects the family; empty defaults to KindFCC. Any other value
+	// is invalid — Generate panics on it (programmer error), callers
+	// handling untrusted specs should Validate first.
 	Kind Kind
 	// MeanBps is the target average throughput in bits per second. The
 	// paper restricts averages to 0.2–6 Mbps.
@@ -38,8 +40,23 @@ type GenSpec struct {
 // exactly zero so replay always terminates.
 const floorBps = 10_000
 
-// Generate synthesizes one trace.
+// Validate reports whether the spec names a known trace family. The empty
+// Kind is valid (it selects KindFCC, the historical default).
+func (s GenSpec) Validate() error {
+	switch s.Kind {
+	case KindFCC, KindHSDPA, "":
+		return nil
+	}
+	return fmt.Errorf("trace: unknown kind %q (want %q or %q)", s.Kind, KindFCC, KindHSDPA)
+}
+
+// Generate synthesizes one trace. An unknown Kind is a programmer error and
+// panics — it used to be silently generated as FCC, which made a typo'd
+// family indistinguishable from the real thing in every downstream result.
 func Generate(spec GenSpec) *Trace {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
 	if spec.Seconds < 1 {
 		spec.Seconds = 1
 	}
@@ -48,7 +65,7 @@ func Generate(spec GenSpec) *Trace {
 	switch spec.Kind {
 	case KindHSDPA:
 		genHSDPA(samples, spec.MeanBps, rng)
-	default:
+	default: // KindFCC or the empty default
 		genFCC(samples, spec.MeanBps, rng)
 	}
 	t := &Trace{Name: spec.Name, BitsPerSecond: samples}

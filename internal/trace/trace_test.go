@@ -250,3 +250,37 @@ func TestCursorScalingExactOnConstantTrace(t *testing.T) {
 		t.Fatalf("constant trace: doubled %v, want %v", doubled, base/2)
 	}
 }
+
+// TestGenerateValidatesKind pins the unknown-kind fix: a typo'd family used
+// to silently generate as FCC; now GenSpec.Validate rejects it and Generate
+// panics loudly. The empty kind stays the documented FCC default.
+func TestGenerateValidatesKind(t *testing.T) {
+	if err := (GenSpec{Kind: "fccc"}).Validate(); err == nil {
+		t.Error("unknown kind validated")
+	}
+	for _, k := range []Kind{KindFCC, KindHSDPA, ""} {
+		if err := (GenSpec{Kind: k}).Validate(); err != nil {
+			t.Errorf("kind %q rejected: %v", k, err)
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Generate accepted an unknown kind without panicking")
+			}
+		}()
+		Generate(GenSpec{Name: "typo", Kind: "fccc", MeanBps: 1e6, Seconds: 10, Seed: 1})
+	}()
+
+	// The empty kind is FCC, sample for sample.
+	spec := GenSpec{Name: "dflt", MeanBps: 1.5e6, Seconds: 30, Seed: 9}
+	def := Generate(spec)
+	spec.Kind = KindFCC
+	fcc := Generate(spec)
+	for i := range def.BitsPerSecond {
+		if def.BitsPerSecond[i] != fcc.BitsPerSecond[i] {
+			t.Fatalf("sample %d: empty-kind %v vs FCC %v", i, def.BitsPerSecond[i], fcc.BitsPerSecond[i])
+		}
+	}
+}

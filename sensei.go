@@ -35,6 +35,13 @@
 // new epochs atomically (POST /refresh, PublishWeights), and active
 // sessions — simulator and DASH client alike — adopt a refresh before
 // their next decision. See StreamWithSource and FleetRefreshSpec.
+//
+// The loop closes end to end: clients rate each rendered chunk (DASHRater,
+// backed by a Population's SessionRater), the origin's POST /rating feeds
+// a sharded evidence aggregator (IngestConfig), and an autopilot converts
+// accumulated MOS deltas into autonomous chunk-window refreshes once a
+// confidence gate passes — no operator involved. Run the whole scenario
+// with RunFleet and FleetRaterSpec, or `fleetsim -closedloop`.
 package sensei
 
 import (
@@ -44,6 +51,7 @@ import (
 	"sensei/internal/crowd"
 	"sensei/internal/dash"
 	"sensei/internal/fleet"
+	"sensei/internal/ingest"
 	"sensei/internal/mos"
 	"sensei/internal/origin"
 	"sensei/internal/player"
@@ -302,6 +310,40 @@ func NewDASHShaper(tr *Trace, timeScale float64) (*DASHShaper, error) {
 // BuildMPD renders the manifest for a video, embedding weights when
 // non-nil.
 func BuildMPD(v *Video, weights []float64) (*MPD, error) { return dash.BuildMPD(v, weights) }
+
+// Closed feedback loop: the origin-side ingestion plane that turns live
+// chunk ratings into autonomous sensitivity refreshes, plus the client
+// hooks that produce the ratings.
+type (
+	// IngestConfig tunes the origin's feedback plane: chunk-window
+	// granularity, the confidence gate (min samples, min inter-refresh
+	// interval, hysteresis on the implied weight change) and the recency
+	// half-life. Set it on DASHOriginConfig.Ingest to enable POST /rating.
+	IngestConfig = ingest.Config
+	// IngestStats is the feedback plane's counter snapshot, embedded in
+	// DASHStats.Ingest: ratings accepted/quarantined/rejected and the
+	// autonomous refresh counters.
+	IngestStats = ingest.Stats
+	// DASHRater is the DASH client's per-chunk feedback hook: score the
+	// just-rendered chunk 1–5 or skip it. SessionRater is the standard
+	// mos-backed implementation.
+	DASHRater = dash.Rater
+	// SessionRater is one streaming session's rating persona, drawn from a
+	// Population (see Population.SessionRater): deterministic per
+	// (population seed, session index), integrity-filtered like any survey
+	// assignment.
+	SessionRater = mos.SessionRater
+	// FleetRaterSpec attaches rater cohorts to a fleet run, closing the
+	// loop at scale: every session posts per-chunk ratings and the report
+	// gains an ingest ledger reconciled exactly against /stats.
+	FleetRaterSpec = fleet.RaterSpec
+	// FleetIngestLedger sums the fleet's client-side rating counters.
+	FleetIngestLedger = fleet.IngestLedger
+)
+
+// FleetIngestDefaults returns autopilot tuning matched to fleet-harness
+// timescales (tighter gate than the production defaults in IngestConfig).
+func FleetIngestDefaults() IngestConfig { return fleet.FleetIngestDefaults() }
 
 // Fleet harness: drive N concurrent DASH clients — a deterministic mix of
 // videos, traces, timescales and ABR algorithms — against one origin, and
