@@ -27,7 +27,16 @@
 //	dashserver [-addr 127.0.0.1:8428] [-videos all|Name1,Name2] [-excerpt N]
 //	           [-timescale 0.01] [-profile] [-pop 20000] [-weightdir weights]
 //	           [-idle 2m] [-autopilot] [-ap-window 4] [-ap-samples 32]
-//	           [-ap-interval 30s] [-ap-delta 0.25]
+//	           [-ap-interval 30s] [-ap-delta 0.25] [-chaos-rate 0]
+//	           [-chaos-seed N] [-chaos-max-consecutive 2]
+//
+// -chaos-rate > 0 mounts seeded, replayable fault injection in front of the
+// data and control planes (never /stats or /refresh): 5xx errors,
+// connection resets, response stalls and truncated segment bodies, capped
+// at -chaos-max-consecutive faults in a row per (session, endpoint) stream.
+// Resilient clients (dashclient, the fleet harness) absorb the weather with
+// bounded retry budgets; /stats gains an injector ledger to reconcile
+// against.
 //
 // Endpoints: POST /session, GET /v/<video>/manifest.mpd,
 // GET /v/<video>/segment/<chunk>/<rung>?sid=..., GET /weights?sid=...,
@@ -79,6 +88,9 @@ func main() {
 	apSamples := flag.Int("ap-samples", 0, "autopilot min ratings per window before a refresh (0 = default)")
 	apInterval := flag.Duration("ap-interval", 0, "autopilot min spacing between refreshes of one video (0 = default)")
 	apDelta := flag.Float64("ap-delta", 0, "autopilot hysteresis: min implied weight change (0 = default)")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-inject this fraction of requests per endpoint kind (0 = chaos off): 5xx, connection resets, stalls, truncated segment bodies")
+	chaosSeed := flag.Uint64("chaos-seed", 0xc4a05, "fault-policy seed; the same seed replays the same fault schedule")
+	chaosStreak := flag.Int("chaos-max-consecutive", 0, "cap on consecutive faults per (session, endpoint) stream (0 = default 2); keep it below client retry budgets")
 	flag.Parse()
 
 	var catalog []*sensei.Video
@@ -140,6 +152,13 @@ func main() {
 		}
 	}
 
+	var chaosCfg *sensei.ChaosConfig
+	if *chaosRate > 0 {
+		p := sensei.UniformChaos(*chaosSeed, *chaosRate)
+		p.MaxConsecutive = *chaosStreak
+		chaosCfg = &p
+	}
+
 	traces, defaultTrace := offeredTraces()
 	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
 		Catalog:            catalog,
@@ -150,6 +169,7 @@ func main() {
 		TimeScale:          *timescale,
 		SessionIdleTimeout: *idle,
 		Ingest:             ingestCfg,
+		Chaos:              chaosCfg,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -173,6 +193,10 @@ func main() {
 	}
 	if *autopilot {
 		fmt.Println("closed loop: POST /rating {\"session_id\":..., \"chunk\":..., \"epoch\":..., \"rating\":1-5} feeds the autopilot; accumulated evidence refreshes chunk windows autonomously")
+	}
+	if chaosCfg != nil {
+		fmt.Printf("chaos: faulting %.0f%% of requests per endpoint (seed %#x); /stats and /refresh are never faulted\n",
+			*chaosRate*100, *chaosSeed)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -11,7 +11,8 @@
 //	fleetsim [-sessions 64] [-videos Soccer1,Tank,Mountain,Lava] [-excerpt 8]
 //	         [-abrs ratebased,bola,mpc,sensei-mpc] [-traces fast=32,slow=4]
 //	         [-timescales 0.05] [-workers 0] [-timeout 0] [-refresh 0]
-//	         [-closedloop] [-noweights] [-json] [-outcomes] [-v]
+//	         [-closedloop] [-chaos] [-chaos-rate 0.08] [-chaos-seed N]
+//	         [-noweights] [-json] [-outcomes] [-v]
 //
 // -traces lists flat traces as name=Mbps pairs; -timescales is the
 // wall-clock compression mix. Sessions walk the full video×trace×abr×
@@ -26,7 +27,12 @@
 // rater persona posting one score per rendered chunk, the origin's
 // autopilot turns the evidence into autonomous epoch bumps (no operator
 // refresh), and the report gains an ingest ledger reconciled exactly
-// against /stats. -json emits the report as JSON (with per-session rows
+// against /stats. -chaos mounts seeded fault injection on every origin
+// endpoint (5xx, connection resets, stalls, truncated segment bodies) and
+// turns every client resilient; the report gains a two-sided fault ledger
+// and the run fails unless every session survives and the ledgers
+// reconcile per endpoint kind — the whole fault schedule replays from
+// -chaos-seed. -json emits the report as JSON (with per-session rows
 // under -outcomes) instead of text.
 package main
 
@@ -55,6 +61,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = none)")
 	refresh := flag.Duration("refresh", 0, "publish a catalog-wide weight refresh this long after every session joined (0 = none); the run fails unless every session converges on the new epoch")
 	closedLoop := flag.Bool("closedloop", false, "attach rater cohorts and enable the origin's ingest autopilot (autonomous epoch bumps from live ratings)")
+	chaosOn := flag.Bool("chaos", false, "mount seeded fault injection on the origin and run resilient clients; the run fails unless every session survives and the fault ledgers reconcile per endpoint kind")
+	chaosRate := flag.Float64("chaos-rate", fleet.DefaultChaosRate, "uniform per-request fault probability per endpoint kind (with -chaos)")
+	chaosSeed := flag.Uint64("chaos-seed", fleet.DefaultChaosSeed, "fault-policy seed; the whole fault schedule replays from it (with -chaos)")
 	noWeights := flag.Bool("noweights", false, "serve weightless manifests (skip sensitivity profiling)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	outcomes := flag.Bool("outcomes", false, "include per-session rows in the JSON report")
@@ -120,6 +129,9 @@ func main() {
 			fail(fmt.Errorf("-closedloop needs profiled weights (drop -noweights)"))
 		}
 		cfg.Raters = &fleet.RaterSpec{}
+	}
+	if *chaosOn {
+		cfg.Chaos = &fleet.ChaosSpec{Seed: *chaosSeed, Rate: *chaosRate}
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }

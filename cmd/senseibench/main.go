@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"sensei/internal/abr"
+	"sensei/internal/chaos"
 	"sensei/internal/experiments"
 	"sensei/internal/fleet"
 	"sensei/internal/ingest"
@@ -109,27 +110,50 @@ func plannerMicroBench() plannerBench {
 type originBench struct {
 	SegmentsPerSec float64 `json:"segments_per_sec"`
 	MBPerSec       float64 `json:"mb_per_sec"`
+	// ChaosIdleSegmentsPerSec re-measures the same path with the chaos
+	// middleware mounted at rate 0 — present but never firing — and
+	// ChaosIdleOverheadPct is the relative cost of that presence. The
+	// contract is "chaos off the hot path": a disabled-but-mounted fault
+	// plane must be effectively free.
+	ChaosIdleSegmentsPerSec float64 `json:"chaos_idle_segments_per_sec"`
+	ChaosIdleOverheadPct    float64 `json:"chaos_idle_overhead_pct"`
 }
 
 // originMicroBench serves one session a top-rung segment in a tight loop
-// via the harness shared with BenchmarkOriginSegment.
+// via the harness shared with BenchmarkOriginSegment, then repeats the
+// measurement with an idle (zero-rate) chaos policy mounted to price the
+// middleware's mere presence.
 func originMicroBench() (originBench, error) {
-	h, err := origin.NewSegmentBenchHarness()
+	const iters = 200
+	run := func(p *chaos.Policy) (float64, float64, error) {
+		h, err := origin.NewSegmentBenchHarnessWithChaos(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer h.Close()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := h.Fetch(); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		return iters / elapsed, float64(iters) * float64(h.SegmentBytes) / 1e6 / elapsed, nil
+	}
+	segs, mb, err := run(nil)
 	if err != nil {
 		return originBench{}, err
 	}
-	defer h.Close()
-	const iters = 200
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if err := h.Fetch(); err != nil {
-			return originBench{}, err
-		}
+	idle := chaos.Uniform(1, 0)
+	idleSegs, _, err := run(&idle)
+	if err != nil {
+		return originBench{}, err
 	}
-	elapsed := time.Since(start).Seconds()
 	return originBench{
-		SegmentsPerSec: iters / elapsed,
-		MBPerSec:       float64(iters) * float64(h.SegmentBytes) / 1e6 / elapsed,
+		SegmentsPerSec:          segs,
+		MBPerSec:                mb,
+		ChaosIdleSegmentsPerSec: idleSegs,
+		ChaosIdleOverheadPct:    (segs - idleSegs) / segs * 100,
 	}, nil
 }
 
@@ -294,6 +318,7 @@ func checkAgainstBaseline(cur, base benchReport, tol float64) []string {
 	}
 	higher("planner speedup", cur.Planner.Speedup, base.Planner.Speedup)
 	higher("origin segments/s", cur.Origin.SegmentsPerSec, base.Origin.SegmentsPerSec)
+	higher("origin chaos-idle segments/s", cur.Origin.ChaosIdleSegmentsPerSec, base.Origin.ChaosIdleSegmentsPerSec)
 	higher("fleet sessions/s", cur.Fleet.SessionsPerSec, base.Fleet.SessionsPerSec)
 	higher("ingest ratings/s", cur.Ingest.RatingsPerSec, base.Ingest.RatingsPerSec)
 	lower("refresh publish ns/op", cur.Refresh.PublishNsPerOp, base.Refresh.PublishNsPerOp)
@@ -412,8 +437,10 @@ func main() {
 			os.Exit(1)
 		}
 		report.Ingest = ib
-		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s, fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
-			report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Fleet.SessionsPerSec,
+		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s (chaos-idle %.0f, %+.1f%%), fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
+			report.Planner.Speedup, report.Origin.SegmentsPerSec,
+			report.Origin.ChaosIdleSegmentsPerSec, report.Origin.ChaosIdleOverheadPct,
+			report.Fleet.SessionsPerSec,
 			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.Ingest.RatingsPerSec, report.TotalSec)
 	}
 	if *benchJSON != "" {

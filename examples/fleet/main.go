@@ -87,4 +87,30 @@ func main() {
 	} else {
 		fmt.Println("\nno refresh fired this run — the crowd's evidence never cleared the confidence gate")
 	}
+
+	// Round three: the same mix under weather. Seeded fault injection on
+	// every origin endpoint — 5xx, connection resets, stalls, truncated
+	// segment bodies — absorbed by the clients' bounded retry budgets. The
+	// report gains a two-sided fault ledger; reconciliation now also
+	// demands per-endpoint-kind equality between faults injected and
+	// faults survived, and the whole schedule replays from the seed.
+	chaotic := base
+	chaotic.Chaos = &sensei.FleetChaosSpec{Seed: 0xbad, Rate: 0.08}
+	fmt.Println("\n== chaos ==")
+	report, err = sensei.RunFleet(context.Background(), chaotic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Render())
+	if report.Failed > 0 || !report.Reconciliation.Ok {
+		log.Fatal("chaos fleet did not reconcile — a fault was lost or a session died")
+	}
+	if cl := report.Chaos; cl != nil {
+		var injected int64
+		for _, n := range cl.Injected {
+			injected += n
+		}
+		fmt.Printf("\nsurvived all %d injected faults in %d retries; replay the run with seed %#x\n",
+			injected, cl.Retries, cl.Seed)
+	}
 }

@@ -1,0 +1,262 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	good := Uniform(1, 0.1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Uniform policy invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    Policy
+	}{
+		{"rate >= 1", Policy{Endpoints: map[Kind]Spec{KindSegment: {Rate: 1}}}},
+		{"rate < 0", Policy{Endpoints: map[Kind]Spec{KindSegment: {Rate: -0.1}}}},
+		{"unknown kind", Policy{Endpoints: map[Kind]Spec{"bogus": {Rate: 0.1}}}},
+		{"unknown mode", Policy{Endpoints: map[Kind]Spec{KindSegment: {Rate: 0.1, Modes: []Mode{"melt"}}}}},
+		{"truncate on manifest", Policy{Endpoints: map[Kind]Spec{KindManifest: {Rate: 0.1, Modes: []Mode{ModeTruncate}}}}},
+		{"negative ceiling", Policy{MaxConsecutive: -1}},
+		{"truncate fraction 1", Policy{TruncateFraction: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.p)
+		}
+	}
+}
+
+// TestInjectorDeterministicReplay drives one injector through interleaved
+// streams and proves three things: a second injector with the same policy
+// produces the identical decision sequence, the journal matches
+// Policy.Replay exactly, and the ledger counts equal the journal.
+func TestInjectorDeterministicReplay(t *testing.T) {
+	p := Uniform(0xfeed, 0.3)
+	a, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(p)
+
+	keys := []string{"s0001", "s0002", "s0003"}
+	var got []Mode
+	for i := 0; i < 200; i++ {
+		key := keys[i%len(keys)]
+		kind := Kinds()[i%len(Kinds())]
+		ma := a.Decide(key, kind)
+		if mb := b.Decide(key, kind); mb != ma {
+			t.Fatalf("iteration %d: injectors disagree (%q vs %q)", i, ma, mb)
+		}
+		got = append(got, ma)
+	}
+
+	// Replay every journaled fault from the seed.
+	journal := a.Journal()
+	if len(journal) == 0 {
+		t.Fatal("no faults injected at rate 0.3 over 200 requests — seed needs changing")
+	}
+	maxSeq := map[streamKey]uint64{}
+	for _, e := range journal {
+		sk := streamKey{e.Key, e.Kind}
+		if e.Seq+1 > maxSeq[sk] {
+			maxSeq[sk] = e.Seq + 1
+		}
+	}
+	replayed := map[streamKey][]Mode{}
+	for sk, n := range maxSeq {
+		replayed[sk] = p.Replay(sk.key, sk.kind, n)
+	}
+	for _, e := range journal {
+		if m := replayed[streamKey{e.Key, e.Kind}][e.Seq]; m != e.Mode {
+			t.Fatalf("journal event %+v not reproduced by Replay (got %q)", e, m)
+		}
+	}
+
+	// Ledger equals journal.
+	st := a.Stats()
+	if st.Total != int64(len(journal)) {
+		t.Fatalf("Stats.Total = %d, journal has %d events", st.Total, len(journal))
+	}
+	if st.JournalDropped != 0 {
+		t.Fatalf("JournalDropped = %d, want 0", st.JournalDropped)
+	}
+	var faults int64
+	for _, m := range got {
+		if m != "" {
+			faults++
+		}
+	}
+	if faults != st.Total {
+		t.Fatalf("observed %d faults, ledger says %d", faults, st.Total)
+	}
+}
+
+// TestInjectorFaultCeiling proves no stream ever sees more than
+// MaxConsecutive back-to-back faults, even at a near-certain fault rate.
+func TestInjectorFaultCeiling(t *testing.T) {
+	p := Policy{
+		Seed:           7,
+		Endpoints:      map[Kind]Spec{KindSegment: {Rate: 0.99}},
+		MaxConsecutive: 2,
+	}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, worst := 0, 0
+	for i := 0; i < 1000; i++ {
+		if in.Decide("s", KindSegment) != "" {
+			run++
+			if run > worst {
+				worst = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if worst != 2 {
+		t.Fatalf("worst consecutive-fault run = %d, want exactly the ceiling 2 at rate 0.99", worst)
+	}
+}
+
+// TestMiddlewareModes exercises each failure shape through a real HTTP
+// server: 503 replies, connection aborts (reset and stall), and the
+// truncation plan handed to a cooperating handler via request context.
+func TestMiddlewareModes(t *testing.T) {
+	for _, mode := range []Mode{ModeError, ModeReset, ModeStall, ModeTruncate} {
+		t.Run(string(mode), func(t *testing.T) {
+			p := Policy{
+				Seed:             3,
+				Endpoints:        map[Kind]Spec{KindSegment: {Rate: 0.99, Modes: []Mode{mode}}},
+				MaxConsecutive:   1000,
+				StallDelay:       5 * time.Millisecond,
+				TruncateFraction: 0.25,
+			}
+			in, err := NewInjector(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if f, ok := TruncationFraction(r.Context()); ok {
+					io.WriteString(w, "truncate:")
+					if f != 0.25 {
+						t.Errorf("truncation fraction %v, want 0.25", f)
+					}
+					return
+				}
+				io.WriteString(w, "clean")
+			})
+			classify := func(r *http.Request) (Kind, string, bool) {
+				if strings.HasPrefix(r.URL.Path, "/skip") {
+					return "", "", false
+				}
+				return KindSegment, r.Header.Get(KeyHeader), true
+			}
+			srv := httptest.NewServer(in.Middleware(handler, classify))
+			defer srv.Close()
+			client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+			defer client.CloseIdleConnections()
+
+			// Unclassified routes are never faulted.
+			resp, err := client.Get(srv.URL + "/skip")
+			if err != nil {
+				t.Fatalf("unclassified route errored: %v", err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if string(body) != "clean" {
+				t.Fatalf("unclassified route body = %q", body)
+			}
+
+			// Find a faulted sequence position from the replay and hit it.
+			decisions := p.Replay("k", KindSegment, 20)
+			faultAt := -1
+			for i, d := range decisions {
+				if d == mode {
+					faultAt = i
+					break
+				}
+			}
+			if faultAt < 0 {
+				t.Fatal("no fault in first 20 decisions at rate 0.99")
+			}
+			for i := 0; i <= faultAt; i++ {
+				req, _ := http.NewRequest(http.MethodGet, srv.URL+"/seg", nil)
+				req.Header.Set(KeyHeader, "k")
+				resp, err := client.Do(req)
+				faulted := i == faultAt
+				switch mode {
+				case ModeError:
+					if err != nil {
+						t.Fatalf("request %d: %v", i, err)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if faulted && (resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get(InjectedHeader) != string(ModeError)) {
+						t.Fatalf("request %d: status %d, header %q — want injected 503", i, resp.StatusCode, resp.Header.Get(InjectedHeader))
+					}
+					if !faulted && string(body) != "clean" {
+						t.Fatalf("request %d: body %q, want clean", i, body)
+					}
+				case ModeReset, ModeStall:
+					if faulted {
+						if err == nil {
+							resp.Body.Close()
+							t.Fatalf("request %d: expected a transport error from %s", i, mode)
+						}
+					} else {
+						if err != nil {
+							t.Fatalf("request %d: %v", i, err)
+						}
+						resp.Body.Close()
+					}
+				case ModeTruncate:
+					if err != nil {
+						t.Fatalf("request %d: %v", i, err)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					want := "clean"
+					if faulted {
+						want = "truncate:"
+					}
+					if string(body) != want {
+						t.Fatalf("request %d: body %q, want %q", i, body, want)
+					}
+				}
+			}
+			if st := in.Stats(); st.ByMode[string(mode)] != 1 || st.Total != 1 {
+				t.Fatalf("ledger after one fault: %+v", st)
+			}
+		})
+	}
+}
+
+// TestMiddlewareAnonKey confirms keyless requests share the anon stream.
+func TestMiddlewareAnonKey(t *testing.T) {
+	p := Uniform(11, 0.5)
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		in.Decide("", KindRating)
+	}
+	want := p.Replay(anonKey, KindRating, 10)
+	var injected int64
+	for _, m := range want {
+		if m != "" {
+			injected++
+		}
+	}
+	if st := in.Stats(); st.ByKind[string(KindRating)] != injected {
+		t.Fatalf("anon stream ledger %d, replay says %d", st.ByKind[string(KindRating)], injected)
+	}
+}

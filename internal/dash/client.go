@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"sensei/internal/chaos"
 	"sensei/internal/crowd"
 	"sensei/internal/par"
 	"sensei/internal/player"
@@ -49,6 +51,16 @@ const DefaultMaxPreStallSec = 2
 // untouched.
 const MinDownloadVirtualSec = 1e-3
 
+// leaveDrainRetries bounds the DELETE /session 409 retry loop: after this
+// many conflicts on the backoff schedule, teardown errors out instead of
+// spinning forever against a wedged origin.
+const leaveDrainRetries = 12
+
+// errWire marks an error as a wire-level failure that exhausted the retry
+// budget — eligible for the graceful-degradation ladder — as opposed to a
+// validation failure at the trust boundary, which must abort the session.
+var errWire = errors.New("wire failure")
+
 // Client streams a video from a multi-tenant origin, driving a
 // player.Algorithm exactly like the simulator does but over real TCP with
 // wall-clock timing. It implements §6's two integration points: parsing
@@ -60,6 +72,13 @@ const MinDownloadVirtualSec = 1e-3
 // implicitly on the first Stream — and every subsequent segment request
 // carries the session ID so the origin shapes it with the session's own
 // trace cursor.
+//
+// Every wire interaction gets a bounded retry budget with jittered
+// exponential backoff (Retry), and budget exhaustion walks a
+// graceful-degradation ladder instead of tearing the session: segments
+// re-decide at the lowest rung, weight refreshes continue on the last
+// adopted snapshot, ratings are dropped. The Resilience ledger records all
+// of it, exactly enough for a fault-injecting origin to reconcile against.
 type Client struct {
 	// BaseURL is the origin root, e.g. "http://127.0.0.1:4123".
 	BaseURL string
@@ -83,6 +102,16 @@ type Client struct {
 	// RequestTimeout bounds each HTTP request (default
 	// DefaultRequestTimeout; negative disables the timeout).
 	RequestTimeout time.Duration
+	// Retry is the per-request retry schedule: every wire interaction gets
+	// Retry.Budget() retries with deterministically jittered exponential
+	// backoff. The zero value applies par's defaults; Attempts < 0
+	// disables retries entirely.
+	Retry par.Backoff
+	// ChaosKey, when non-empty, rides on every request as the
+	// chaos.KeyHeader so a fault-injecting origin keys its deterministic
+	// per-session fault streams on a stable caller-chosen identity (a
+	// fleet slot) instead of the random session ID.
+	ChaosKey string
 	// Sensitivity optionally overrides the wire-delivered weight plane
 	// with a caller-injected source: one snapshot is taken before every
 	// chunk decision, exactly as player.PlayWithSource does. The parity
@@ -100,6 +129,7 @@ type Client struct {
 	sid          string
 	videoName    string
 	sessionScale float64
+	res          Resilience
 }
 
 // Rater produces an in-player rating for the chunk that just finished
@@ -110,6 +140,72 @@ type Client struct {
 type Rater interface {
 	RateChunk(r *qoe.Rendering, i int) (rating int, ok bool)
 }
+
+// Resilience is a per-session fault-handling ledger: what the wire did to
+// the session and what the client did about it. Under a fault-injecting
+// origin the FaultsByKind counters reconcile exactly against the
+// injector's ledger — every injected fault is survived (and counted) by
+// exactly one client request.
+type Resilience struct {
+	// Retries counts wire attempts beyond the first, across all endpoints.
+	Retries int64 `json:"retries,omitempty"`
+	// FaultsByKind counts observed faults per endpoint kind (chaos.Kind
+	// names): every 5xx reply, transport failure, or truncated body —
+	// whether or not a later retry succeeded.
+	FaultsByKind map[string]int64 `json:"faults_by_kind,omitempty"`
+	// Truncations counts bodies rejected by Content-Length / expected-size
+	// accounting (a subset of FaultsByKind["segment"]); their partial
+	// payloads enter the byte ledger but never the throughput history.
+	Truncations int64 `json:"truncations,omitempty"`
+	// SegmentFallbacks counts degradation-ladder drops: a segment whose
+	// retry budget was exhausted at the chosen rung, re-decided at the
+	// lowest rung before declaring the stream dead.
+	SegmentFallbacks int64 `json:"segment_fallbacks,omitempty"`
+	// StaleWeightsKept counts weight refreshes abandoned past the retry
+	// budget, the session continuing on its last adopted epoch snapshot.
+	StaleWeightsKept int64 `json:"stale_weights_kept,omitempty"`
+	// RatingsDropped counts ratings discarded past the retry budget
+	// without touching playback.
+	RatingsDropped int64 `json:"ratings_dropped,omitempty"`
+}
+
+// Faults returns the total number of faults observed across kinds.
+func (r *Resilience) Faults() int64 {
+	var n int64
+	for _, v := range r.FaultsByKind {
+		n += v
+	}
+	return n
+}
+
+// Degradations returns how many times the ladder actually degraded service
+// (rung fallbacks, stale weights kept, ratings dropped). Zero means every
+// fault was absorbed by retries alone.
+func (r *Resilience) Degradations() int64 {
+	return r.SegmentFallbacks + r.StaleWeightsKept + r.RatingsDropped
+}
+
+func (r *Resilience) fault(kind chaos.Kind) {
+	if r.FaultsByKind == nil {
+		r.FaultsByKind = make(map[string]int64)
+	}
+	r.FaultsByKind[string(kind)]++
+}
+
+func (r Resilience) clone() Resilience {
+	out := r
+	if r.FaultsByKind != nil {
+		out.FaultsByKind = make(map[string]int64, len(r.FaultsByKind))
+		for k, v := range r.FaultsByKind {
+			out.FaultsByKind[k] = v
+		}
+	}
+	return out
+}
+
+// Resilience snapshots the client's fault-handling ledger, accumulated
+// across Join, Stream and Leave.
+func (c *Client) Resilience() Resilience { return c.res.clone() }
 
 // Session is the outcome of one streamed playback.
 type Session struct {
@@ -143,11 +239,16 @@ type Session struct {
 	// seconds; BytesDownloaded*8/DownloadVirtualSec is the session's mean
 	// observed throughput.
 	DownloadVirtualSec float64
-	// BytesDownloaded counts segment payload traffic.
+	// BytesDownloaded counts segment payload traffic, partial deliveries
+	// from truncated attempts included (the origin counted those served).
 	BytesDownloaded int64
 	// ThroughputBps holds the per-chunk measured throughput samples exactly
-	// as they entered the ABR's history, most recent last.
+	// as they entered the ABR's history, most recent last. Only successful
+	// attempts contribute; faulted and truncated attempts never do.
 	ThroughputBps []float64
+	// Resilience is the fault-handling ledger as of stream end (Leave's
+	// activity lands on Client.Resilience only).
+	Resilience Resilience
 }
 
 // joinRequest and joinResponse mirror the origin's POST /session wire
@@ -170,45 +271,76 @@ func (c *Client) SessionID() string { return c.sid }
 
 // Join creates a session on the origin for the named catalog video. It is
 // called implicitly by Stream when the client has no session yet.
+// Transient failures (5xx, transport errors) are retried on the backoff
+// schedule; there is no degradation rung below "no session", so an
+// exhausted budget is an error.
 func (c *Client) Join(ctx context.Context, videoName string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	body, err := json.Marshal(joinRequest{Video: videoName, Trace: c.Trace, TimeScale: c.TimeScale})
 	if err != nil {
 		return fmt.Errorf("dash: encoding join request: %w", err)
 	}
+	for attempt := 0; ; attempt++ {
+		transient, err := c.joinOnce(ctx, body)
+		if err == nil {
+			return nil
+		}
+		if !transient || ctx.Err() != nil {
+			return err
+		}
+		c.res.fault(chaos.KindSession)
+		if attempt >= c.Retry.Budget() {
+			return fmt.Errorf("dash: joining session: retry budget exhausted after %d attempts: %w", attempt+1, err)
+		}
+		c.res.Retries++
+		if !c.Retry.Sleep(ctx, attempt) {
+			return fmt.Errorf("dash: joining session: %w", ctx.Err())
+		}
+	}
+}
+
+// joinOnce issues one POST /session; transient reports whether a failure
+// is worth retrying (5xx or transport-level).
+func (c *Client) joinOnce(ctx context.Context, body []byte) (transient bool, err error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/session", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("dash: join request: %w", err)
+		return false, fmt.Errorf("dash: join request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.markChaosKey(req)
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return fmt.Errorf("dash: joining session: %w", err)
+		return true, fmt.Errorf("dash: joining session: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("dash: joining session: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return resp.StatusCode >= 500, fmt.Errorf("dash: joining session: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var jr joinResponse
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
-		return fmt.Errorf("dash: decoding join response: %w", err)
+		return false, fmt.Errorf("dash: decoding join response: %w", err)
 	}
 	if jr.SessionID == "" || jr.TimeScale <= 0 {
-		return fmt.Errorf("dash: origin returned invalid session %+v", jr)
+		return false, fmt.Errorf("dash: origin returned invalid session %+v", jr)
 	}
 	c.sid = jr.SessionID
 	c.videoName = jr.Video
 	c.sessionScale = jr.TimeScale
-	return nil
+	return false, nil
 }
 
 // Leave deletes the client's session on the origin, freeing it before the
 // idle-expiry janitor would. The origin refuses (409) while a segment
 // stream is still draining — after an aborted download its handler may not
-// have observed the disconnect yet — so a conflict is retried briefly
-// before it becomes an error.
+// have observed the disconnect yet — so conflicts are retried on the
+// backoff schedule up to leaveDrainRetries, a hard cap that keeps a wedged
+// origin from hanging teardown forever. Transport errors and 5xx replies
+// get the standard retry budget.
 func (c *Client) Leave(ctx context.Context) error {
 	if c.sid == "" {
 		return nil
@@ -216,26 +348,36 @@ func (c *Client) Leave(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	const (
-		leaveRetryInterval = 25 * time.Millisecond
-		leaveRetries       = 40 // ~1s of draining grace
-	)
+	conflicts, faults := 0, 0
 	for attempt := 0; ; attempt++ {
 		status, msg, err := c.leaveOnce(ctx)
-		if err != nil {
+		switch {
+		case err != nil && ctx.Err() != nil:
 			return err
-		}
-		if status == http.StatusConflict && attempt < leaveRetries {
-			if !par.Sleep(ctx, leaveRetryInterval) {
-				return fmt.Errorf("dash: leaving session: %w", ctx.Err())
+		case err != nil, status >= 500:
+			c.res.fault(chaos.KindSession)
+			faults++
+			if faults > c.Retry.Budget() {
+				if err == nil {
+					err = fmt.Errorf("status %d: %s", status, msg)
+				}
+				return fmt.Errorf("dash: leaving session: retry budget exhausted after %d attempts: %w", faults, err)
 			}
-			continue
-		}
-		if status != http.StatusNoContent && status != http.StatusNotFound {
+		case status == http.StatusConflict:
+			conflicts++
+			if conflicts > leaveDrainRetries {
+				return fmt.Errorf("dash: leaving session: still draining after %d attempts: %s", conflicts, msg)
+			}
+		case status != http.StatusNoContent && status != http.StatusNotFound:
 			return fmt.Errorf("dash: leaving session: status %d: %s", status, msg)
+		default:
+			c.sid = ""
+			return nil
 		}
-		c.sid = ""
-		return nil
+		c.res.Retries++
+		if !c.Retry.Sleep(ctx, attempt) {
+			return fmt.Errorf("dash: leaving session: %w", ctx.Err())
+		}
 	}
 }
 
@@ -248,6 +390,7 @@ func (c *Client) leaveOnce(ctx context.Context) (int, string, error) {
 	if err != nil {
 		return 0, "", fmt.Errorf("dash: leave request: %w", err)
 	}
+	c.markChaosKey(req)
 	resp, err := c.httpc().Do(req)
 	if err != nil {
 		return 0, "", fmt.Errorf("dash: leaving session: %w", err)
@@ -293,11 +436,11 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		maxStall = DefaultMaxPreStallSec
 	}
 
-	mpdBody, _, err := c.get(ctx, c.videoPath(v.Name, "manifest.mpd"))
+	mf, err := c.fetch(ctx, c.videoPath(v.Name, "manifest.mpd"), chaos.KindManifest, -1)
 	if err != nil {
 		return nil, fmt.Errorf("dash: fetching manifest: %w", err)
 	}
-	mpd, err := ParseMPD(mpdBody)
+	mpd, err := ParseMPD(mf.body)
 	if err != nil {
 		return nil, err
 	}
@@ -371,13 +514,26 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		} else if observed > prof.Epoch && observed > fetchedFor {
 			fetchedFor = observed
 			p, err := c.fetchWeights(ctx, v)
-			if err != nil {
+			switch {
+			case err == nil:
+				if p.Epoch > prof.Epoch {
+					prof = p
+				}
+				sess.WeightRefreshes++
+			case ctx.Err() != nil:
+				return nil, fmt.Errorf("dash: refreshing weights at chunk %d: %w", i, err)
+			case errors.Is(err, errWire):
+				// Degradation rung: the weight service is unreachable past
+				// the retry budget. Continue on the last adopted epoch
+				// snapshot — counted, never torn — rather than killing
+				// playback over a sensitivity update.
+				c.res.StaleWeightsKept++
+			default:
+				// Validation failures at the trust boundary still abort: a
+				// reachable origin sending poisoned weights is not a
+				// degraded wire.
 				return nil, fmt.Errorf("dash: refreshing weights at chunk %d: %w", i, err)
 			}
-			if p.Epoch > prof.Epoch {
-				prof = p
-			}
-			sess.WeightRefreshes++
 		}
 		sess.ChunkEpochs[i] = prof.Epoch
 		st := &player.State{
@@ -421,15 +577,26 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			buffer -= wait
 		}
 
-		start := time.Now()
-		body, respEpoch, err := c.get(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)))
+		f, err := c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)),
+			chaos.KindSegment, int64(v.ChunkSizeBits(i, d.Rung)/8))
+		if err != nil && errors.Is(err, errWire) && d.Rung != 0 {
+			// Degradation ladder: before declaring the stream dead,
+			// re-decide at the lowest rung with a fresh budget — the
+			// cheapest segment has the best odds of surviving a degraded
+			// wire, and a low-quality chunk beats a dead session.
+			c.res.SegmentFallbacks++
+			d.Rung = 0
+			f, err = c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, 0)),
+				chaos.KindSegment, int64(v.ChunkSizeBits(i, 0)/8))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
 		}
-		if respEpoch > observed {
-			observed = respEpoch
+		body := f.body
+		if f.epoch > observed {
+			observed = f.epoch
 		}
-		elapsedVirtual := time.Since(start).Seconds() / scale
+		elapsedVirtual := f.sec / scale
 		// At aggressive timescales a segment can land within clock
 		// resolution; an unfloored duration yields absurd (up to +Inf)
 		// throughput samples that poison the ABR's history, so the
@@ -438,17 +605,25 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if elapsedVirtual < MinDownloadVirtualSec {
 			elapsedVirtual = MinDownloadVirtualSec
 		}
-		sess.BytesDownloaded += int64(len(body))
-		sess.DownloadVirtualSec += elapsedVirtual
+		// The playback buffer drains for the whole acquisition — retries,
+		// backoff pauses and truncated attempts included: a
+		// fault-lengthened download is a real stall. The throughput
+		// history, by contrast, sees only the successful attempt below.
+		totalVirtual := f.totalSec / scale
+		if totalVirtual < elapsedVirtual {
+			totalVirtual = elapsedVirtual
+		}
+		sess.BytesDownloaded += int64(len(body)) + f.partialBytes
+		sess.DownloadVirtualSec += elapsedVirtual + f.partialSec/scale
 
 		if i > 0 {
-			if elapsedVirtual > buffer {
-				stall := elapsedVirtual - buffer
+			if totalVirtual > buffer {
+				stall := totalVirtual - buffer
 				sess.Rendering.StallSec[i] += stall
 				sess.RebufferVirtualSec += stall
 				buffer = 0
 			} else {
-				buffer -= elapsedVirtual
+				buffer -= totalVirtual
 			}
 		}
 		buffer += chunkDur
@@ -474,17 +649,25 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if c.Rater != nil {
 			if score, ok := c.Rater.RateChunk(sess.Rendering, i); ok {
 				accepted, respEpoch, err := c.postRating(ctx, i, sess.ChunkEpochs[i], score)
-				if err != nil {
+				switch {
+				case err == nil:
+					sess.RatingsPosted++
+					if accepted {
+						sess.RatingsAccepted++
+					} else {
+						sess.RatingsQuarantined++
+					}
+					if respEpoch > observed {
+						observed = respEpoch
+					}
+				case ctx.Err() != nil:
 					return nil, fmt.Errorf("dash: rating chunk %d: %w", i, err)
-				}
-				sess.RatingsPosted++
-				if accepted {
-					sess.RatingsAccepted++
-				} else {
-					sess.RatingsQuarantined++
-				}
-				if respEpoch > observed {
-					observed = respEpoch
+				case errors.Is(err, errWire):
+					// Degradation rung: feedback is best-effort. Drop the
+					// rating without touching playback.
+					c.res.RatingsDropped++
+				default:
+					return nil, fmt.Errorf("dash: rating chunk %d: %w", i, err)
 				}
 			}
 		}
@@ -494,6 +677,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	}
 	sess.Weights = prof.Weights
 	sess.WeightEpoch = prof.Epoch
+	sess.Resilience = c.res.clone()
 	return sess, nil
 }
 
@@ -507,14 +691,15 @@ type weightsResponse struct {
 // fetchWeights pulls the session video's current profile snapshot from the
 // origin, validating it at the trust boundary: wire-carried weights must
 // match the local chunk count and pass crowd.ValidWeight before they are
-// allowed anywhere near an ABR objective.
+// allowed anywhere near an ABR objective. Wire failures carry errWire (the
+// caller may degrade to its last snapshot); validation failures never do.
 func (c *Client) fetchWeights(ctx context.Context, v *video.Video) (*sensitivity.Profile, error) {
-	body, _, err := c.get(ctx, "/weights?sid="+url.QueryEscape(c.sid))
+	f, err := c.fetch(ctx, "/weights?sid="+url.QueryEscape(c.sid), chaos.KindWeights, -1)
 	if err != nil {
 		return nil, err
 	}
 	var wr weightsResponse
-	if err := json.Unmarshal(body, &wr); err != nil {
+	if err := json.Unmarshal(f.body, &wr); err != nil {
 		return nil, fmt.Errorf("dash: decoding weights: %w", err)
 	}
 	if wr.Video != v.Name {
@@ -560,42 +745,66 @@ type ratingResponse struct {
 
 // postRating submits one chunk rating and returns the origin's verdict
 // (accepted vs quarantined) plus the current-epoch beacon the response
-// carries.
+// carries. Transient failures retry on the backoff schedule; budget
+// exhaustion returns an errWire-marked error so the caller can drop the
+// rating instead of tearing playback down.
 func (c *Client) postRating(ctx context.Context, chunk int, epoch uint64, rating int) (accepted bool, respEpoch uint64, err error) {
 	body, err := json.Marshal(ratingRequest{SessionID: c.sid, Chunk: chunk, Epoch: epoch, Rating: rating})
 	if err != nil {
 		return false, 0, fmt.Errorf("dash: encoding rating: %w", err)
 	}
+	for attempt := 0; ; attempt++ {
+		accepted, respEpoch, transient, err := c.postRatingOnce(ctx, body)
+		if err == nil {
+			return accepted, respEpoch, nil
+		}
+		if !transient || ctx.Err() != nil {
+			return false, 0, err
+		}
+		c.res.fault(chaos.KindRating)
+		if attempt >= c.Retry.Budget() {
+			return false, 0, fmt.Errorf("dash: posting rating: retry budget exhausted after %d attempts: %w: %w", attempt+1, errWire, err)
+		}
+		c.res.Retries++
+		if !c.Retry.Sleep(ctx, attempt) {
+			return false, 0, fmt.Errorf("dash: posting rating: %w", ctx.Err())
+		}
+	}
+}
+
+// postRatingOnce issues one POST /rating.
+func (c *Client) postRatingOnce(ctx context.Context, body []byte) (accepted bool, respEpoch uint64, transient bool, err error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/rating", bytes.NewReader(body))
 	if err != nil {
-		return false, 0, fmt.Errorf("dash: rating request: %w", err)
+		return false, 0, false, fmt.Errorf("dash: rating request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.markChaosKey(req)
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return false, 0, fmt.Errorf("dash: posting rating: %w", err)
+		return false, 0, true, fmt.Errorf("dash: posting rating: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return false, 0, fmt.Errorf("dash: posting rating: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return false, 0, resp.StatusCode >= 500, fmt.Errorf("dash: posting rating: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	if h := resp.Header.Get(WeightEpochHeader); h != "" {
 		respEpoch, _ = strconv.ParseUint(h, 10, 64)
 	}
 	var rr ratingResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return false, 0, fmt.Errorf("dash: decoding rating response: %w", err)
+		return false, 0, false, fmt.Errorf("dash: decoding rating response: %w", err)
 	}
 	switch rr.Status {
 	case "accepted":
-		return true, respEpoch, nil
+		return true, respEpoch, false, nil
 	case "quarantined":
-		return false, respEpoch, nil
+		return false, respEpoch, false, nil
 	}
-	return false, 0, fmt.Errorf("dash: origin returned rating status %q", rr.Status)
+	return false, 0, false, fmt.Errorf("dash: origin returned rating status %q", rr.Status)
 }
 
 // validateLadder checks the manifest ladder against the local video model.
@@ -627,6 +836,13 @@ func (c *Client) httpc() *http.Client {
 	return http.DefaultClient
 }
 
+// markChaosKey stamps the request with the client's chaos stream key.
+func (c *Client) markChaosKey(req *http.Request) {
+	if c.ChaosKey != "" {
+		req.Header.Set(chaos.KeyHeader, c.ChaosKey)
+	}
+}
+
 // requestContext derives the per-request context with the client's
 // timeout applied.
 func (c *Client) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -643,30 +859,107 @@ func (c *Client) requestContext(ctx context.Context) (context.Context, context.C
 	return context.WithTimeout(ctx, timeout)
 }
 
-// get fetches a path and returns the body plus the weight epoch the
+// fetched is one retried GET's outcome: the successful body and its timing,
+// plus the partial payloads truncated attempts delivered along the way.
+type fetched struct {
+	body  []byte
+	epoch uint64
+	// sec is the wall-clock duration of the successful attempt only — the
+	// throughput history must measure the link, not the retry schedule.
+	sec float64
+	// totalSec spans the whole acquisition: every attempt plus every
+	// backoff pause. The playback buffer drains for all of it.
+	totalSec float64
+	// partialBytes / partialSec account payload delivered by truncated
+	// attempts before the wire broke: the origin counted those bytes
+	// served, so the byte ledger must include them, but they never become
+	// throughput samples.
+	partialBytes int64
+	partialSec   float64
+}
+
+// fetch GETs path under the retry budget, classifying every failure:
+// transport errors and 5xx replies are transient and retried with backoff;
+// 4xx are permanent; a 200 whose body length disagrees with Content-Length
+// (or with the caller's expected size, when expected >= 0) is a truncation
+// fault — retried, with the partial payload ledgered. Budget exhaustion
+// returns an errWire-marked error; degradation is the caller's choice.
+func (c *Client) fetch(ctx context.Context, path string, kind chaos.Kind, expected int64) (*fetched, error) {
+	f := &fetched{}
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		body, epoch, clen, transient, err := c.getOnce(ctx, path)
+		sec := time.Since(start).Seconds()
+		f.totalSec += sec
+		if err == nil {
+			switch {
+			case clen >= 0 && int64(len(body)) != clen:
+				err = fmt.Errorf("dash: GET %s: body is %d bytes, Content-Length says %d", path, len(body), clen)
+			case expected >= 0 && int64(len(body)) != expected:
+				err = fmt.Errorf("dash: GET %s: body is %d bytes, expected %d", path, len(body), expected)
+			default:
+				f.body, f.epoch, f.sec = body, epoch, sec
+				return f, nil
+			}
+			// A complete-looking reply of the wrong length is a truncation:
+			// ledger the bytes that did arrive (the origin counted them
+			// served) and keep them out of the throughput history.
+			f.partialBytes += int64(len(body))
+			f.partialSec += sec
+			c.res.Truncations++
+			transient = true
+		} else if transient && ctx.Err() == nil && len(body) > 0 {
+			// A mid-body hangup delivered a prefix before failing; same
+			// two-sided accounting as the length-mismatch case.
+			f.partialBytes += int64(len(body))
+			f.partialSec += sec
+			c.res.Truncations++
+		}
+		if !transient || ctx.Err() != nil {
+			return nil, err
+		}
+		c.res.fault(kind)
+		if attempt >= c.Retry.Budget() {
+			return nil, fmt.Errorf("dash: GET %s: retry budget exhausted after %d attempts: %w: %w", path, attempt+1, errWire, err)
+		}
+		c.res.Retries++
+		d := c.Retry.Delay(attempt)
+		f.totalSec += d.Seconds()
+		if !par.Sleep(ctx, d) {
+			return nil, fmt.Errorf("dash: GET %s: %w", path, ctx.Err())
+		}
+	}
+}
+
+// getOnce issues one GET and returns the body, the weight epoch the
 // response advertised (0 when the header is absent or malformed — an
 // origin that does not speak the extension simply never triggers a
-// refresh).
-func (c *Client) get(ctx context.Context, path string) ([]byte, uint64, error) {
+// refresh), the declared Content-Length (-1 when unknown), and whether a
+// failure is transient. A body-read failure returns the partial body read
+// so far alongside the error.
+func (c *Client) getOnce(ctx context.Context, path string) (body []byte, epoch uint64, clen int64, transient bool, err error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, -1, false, err
 	}
+	c.markChaosKey(req)
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, -1, true, fmt.Errorf("dash: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, 0, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, 0, -1, resp.StatusCode >= 500, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
 	}
-	var epoch uint64
 	if h := resp.Header.Get(WeightEpochHeader); h != "" {
 		epoch, _ = strconv.ParseUint(h, 10, 64)
 	}
-	body, err := io.ReadAll(resp.Body)
-	return body, epoch, err
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return body, epoch, resp.ContentLength, true, fmt.Errorf("dash: GET %s: reading body: %w", path, err)
+	}
+	return body, epoch, resp.ContentLength, false, nil
 }

@@ -9,7 +9,10 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
+	"sensei/internal/chaos"
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/video"
@@ -246,16 +249,39 @@ type raterFunc func(r *qoe.Rendering, i int) (int, bool)
 
 func (f raterFunc) RateChunk(r *qoe.Rendering, i int) (int, bool) { return f(r, i) }
 
-// TestClientRatingFailureIsLoud: a failing /rating aborts the stream with
-// a clear error instead of silently dropping feedback.
-func TestClientRatingFailureIsLoud(t *testing.T) {
+// TestClientRatingFailureIsCounted: a failing /rating no longer tears
+// playback down — past the retry budget the rating is dropped, and the
+// drop is ledgered (never silent) so reconciliation still accounts for it.
+func TestClientRatingFailureIsCounted(t *testing.T) {
 	w, v := ratingTestVideo(t)
 	stub := &ratingStub{v: v, w: w, epoch: 1, failWith: http.StatusServiceUnavailable}
 	base := stub.start(t)
 	c := &Client{BaseURL: base, Algorithm: rung0ABR(), TimeScale: 100,
+		Retry: par.Backoff{Attempts: 1, Base: time.Millisecond, Max: 2 * time.Millisecond},
 		Rater: &fixedRater{score: 4}}
-	if _, err := c.Stream(context.Background(), v); err == nil {
-		t.Fatal("stream survived a failing rating endpoint")
+	sess, err := c.Stream(context.Background(), v)
+	if err != nil {
+		t.Fatalf("stream died over a failing rating endpoint: %v", err)
+	}
+	n := int64(v.NumChunks())
+	if sess.RatingsPosted != 0 {
+		t.Fatalf("posted %d ratings against an always-failing endpoint", sess.RatingsPosted)
+	}
+	if sess.Resilience.RatingsDropped != n {
+		t.Fatalf("RatingsDropped = %d, want one per chunk (%d)", sess.Resilience.RatingsDropped, n)
+	}
+	// Budget 1 → 2 attempts per chunk, each a counted fault.
+	if got := sess.Resilience.FaultsByKind[string(chaos.KindRating)]; got != 2*n {
+		t.Fatalf("rating faults = %d, want %d", got, 2*n)
+	}
+	// A permanent (4xx) rating failure, by contrast, still aborts loudly.
+	stub.mu.Lock()
+	stub.failWith = http.StatusBadRequest
+	stub.mu.Unlock()
+	c2 := &Client{BaseURL: base, Algorithm: rung0ABR(), TimeScale: 100,
+		Rater: &fixedRater{score: 4}}
+	if _, err := c2.Stream(context.Background(), v); err == nil {
+		t.Fatal("stream survived a 4xx rating endpoint")
 	}
 }
 

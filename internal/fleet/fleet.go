@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sensei/internal/abr"
+	"sensei/internal/chaos"
 	"sensei/internal/dash"
 	"sensei/internal/ingest"
 	"sensei/internal/mos"
@@ -108,6 +109,11 @@ type Config struct {
 	// operator refresh involved. The report gains an ingest ledger
 	// reconciled exactly against /stats. Requires Profile.
 	Raters *RaterSpec
+	// Chaos optionally mounts the origin's fault-injection middleware and
+	// turns every client resilient: sessions retry with a bounded, jittered
+	// backoff budget, and the report gains a two-sided fault ledger that
+	// reconciliation matches exactly against /stats. Nil runs fault-free.
+	Chaos *ChaosSpec
 	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
 	// default).
 	SessionIdleTimeout time.Duration
@@ -160,6 +166,75 @@ func FleetIngestDefaults() ingest.Config {
 		Gain:           2,
 		DecayHalfLife:  10 * time.Minute, // effectively no decay within a run
 	}
+}
+
+// Fleet chaos defaults: the uniform per-endpoint fault rate and policy
+// seed used when a ChaosSpec leaves them zero.
+const (
+	DefaultChaosSeed uint64  = 0xc4a05
+	DefaultChaosRate float64 = 0.08
+)
+
+// ChaosSpec configures a fleet run's fault plane: the origin-side
+// injection policy and the client-side retry posture. The whole run is
+// replayable — faults are a pure function of (Seed, session slot,
+// endpoint kind, request sequence), independent of goroutine scheduling.
+type ChaosSpec struct {
+	// Seed keys every fault decision (default DefaultChaosSeed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Rate is the uniform per-request fault probability applied to every
+	// endpoint kind when Endpoints is nil (default DefaultChaosRate).
+	Rate float64 `json:"rate,omitempty"`
+	// Endpoints overrides the uniform rate with per-endpoint fault specs.
+	Endpoints map[chaos.Kind]chaos.Spec `json:"endpoints,omitempty"`
+	// MaxConsecutive caps the fault streak per (session, endpoint) stream
+	// (0 = chaos.DefaultMaxConsecutive). Keep it below the retry budget or
+	// sessions will legitimately die.
+	MaxConsecutive int `json:"max_consecutive,omitempty"`
+	// StallDelay is how long an injected stall holds a request before
+	// aborting it (0 = chaos.DefaultStallDelay).
+	StallDelay time.Duration `json:"stall_delay,omitempty"`
+	// Retry is the per-client backoff posture; its zero value means the
+	// dash defaults (budget 4, 25ms base). Each session derives its own
+	// jitter seed from Retry.Seed and its slot.
+	Retry par.Backoff `json:"retry,omitempty"`
+}
+
+// Policy materializes the origin-side injection policy, defaults applied.
+func (s *ChaosSpec) Policy() chaos.Policy {
+	seed := s.Seed
+	if seed == 0 {
+		seed = DefaultChaosSeed
+	}
+	var p chaos.Policy
+	if len(s.Endpoints) > 0 {
+		eps := make(map[chaos.Kind]chaos.Spec, len(s.Endpoints))
+		for k, spec := range s.Endpoints {
+			eps[k] = spec
+		}
+		p = chaos.Policy{Seed: seed, Endpoints: eps}
+	} else {
+		rate := s.Rate
+		if rate == 0 {
+			rate = DefaultChaosRate
+		}
+		p = chaos.Uniform(seed, rate)
+	}
+	p.MaxConsecutive = s.MaxConsecutive
+	p.StallDelay = s.StallDelay
+	return p
+}
+
+// chaosKey is the stable per-slot stream key: faults depend on it, not on
+// origin-assigned session IDs, so a run replays regardless of join order.
+func chaosKey(k int) string { return fmt.Sprintf("s%04d", k) }
+
+// retryFor derives session k's backoff, de-correlating jitter across the
+// fleet so retry storms don't synchronize.
+func (s *ChaosSpec) retryFor(k int) par.Backoff {
+	b := s.Retry
+	b.Seed ^= s.Seed ^ ((uint64(k) + 1) * 0x9e3779b97f4a7c15)
+	return b
 }
 
 // RefreshSpec schedules the fleet's mid-run weight refresh.
@@ -232,6 +307,20 @@ func (c *Config) validate() error {
 			// first profile; legal at the origin, but the scenario exists to
 			// exercise mid-stream refresh of already-weighted sessions.
 			return fmt.Errorf("fleet: refresh scheduled without a profile function")
+		}
+	}
+	if c.Chaos != nil {
+		p := c.Chaos.Policy()
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("fleet: chaos: %w", err)
+		}
+		ceiling := p.MaxConsecutive
+		if ceiling <= 0 {
+			ceiling = chaos.DefaultMaxConsecutive
+		}
+		if budget := c.Chaos.retryFor(0).Budget(); ceiling > budget {
+			return fmt.Errorf("fleet: chaos fault ceiling %d exceeds the retry budget %d — sessions would be lost by design",
+				ceiling, budget)
 		}
 	}
 	if c.Raters != nil {
@@ -354,6 +443,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}
 	}
+	var chaosPolicy *chaos.Policy
+	if cfg.Chaos != nil {
+		p := cfg.Chaos.Policy()
+		chaosPolicy = &p
+	}
 	o, err := origin.New(origin.Config{
 		Catalog:            cfg.Videos,
 		Profile:            cfg.Profile,
@@ -363,6 +457,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		SessionIdleTimeout: cfg.SessionIdleTimeout,
 		MaxSessions:        maxSessions,
 		Ingest:             ingestCfg,
+		Chaos:              chaosPolicy,
 		Logf:               cfg.Logf,
 	})
 	if err != nil {
@@ -385,9 +480,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// keeps only 2 idle connections per host, so a fleet on it re-dials
 	// TCP for almost every segment — churn that inflates the per-request
 	// overhead the parity tolerance budgets for.
+	// Under chaos, connection reuse must go: net/http transparently retries
+	// replayable GETs on a reused connection the server closed early, which
+	// would hide reset/stall faults from the client-side ledger and break
+	// the exact per-kind reconciliation against the injector's counters.
 	httpc := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        workers + 4,
 		MaxIdleConnsPerHost: workers + 4,
+		DisableKeepAlives:   cfg.Chaos != nil,
 	}}
 	defer httpc.CloseIdleConnections()
 
@@ -462,7 +562,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if raters != nil {
 			rater = raters[k]
 		}
-		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a, rater)
+		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a, rater, cfg.Chaos)
 		outcomes[k].FinishedSec = time.Since(start).Seconds()
 		return nil
 	})
@@ -488,11 +588,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(outcomes, st, refreshOut, elapsed, cfg.KeepOutcomes), nil
+	rep := buildReport(outcomes, st, refreshOut, elapsed, cfg.KeepOutcomes)
+	if rep.Chaos != nil && chaosPolicy != nil {
+		// The journal plus the seed make the whole run's fault schedule
+		// independently reproducible via chaos.Policy.Replay.
+		rep.Chaos.Seed = chaosPolicy.Seed
+		rep.Chaos.Events = o.ChaosJournal()
+	}
+	return rep, nil
 }
 
 // runSession streams one fleet slot end to end and captures its outcome.
-func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment, rater dash.Rater) SessionOutcome {
+func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment, rater dash.Rater, spec *ChaosSpec) SessionOutcome {
 	out := SessionOutcome{
 		Index:     k,
 		Video:     a.video.Name,
@@ -514,12 +621,23 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 		MaxBufferSec: maxBufferSec,
 		Rater:        rater,
 	}
+	if spec != nil {
+		c.ChaosKey = chaosKey(k)
+		c.Retry = spec.retryFor(k)
+	}
+	captureResilience := func() {
+		if spec != nil {
+			res := c.Resilience()
+			out.Resilience = &res
+		}
+	}
 	sess, err := c.Stream(ctx, a.video)
 	if err != nil {
 		out.Err = err.Error()
 		// Free the half-open session so the reconciliation failure reads
 		// as "session N failed", not also as a leaked registry entry.
 		_ = c.Leave(context.WithoutCancel(ctx))
+		captureResilience()
 		return out
 	}
 	out.SessionID = sess.ID
@@ -555,6 +673,7 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 	if err := c.Leave(context.WithoutCancel(ctx)); err != nil {
 		out.Err = fmt.Sprintf("leave: %v", err)
 	}
+	captureResilience()
 	return out
 }
 

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"sensei/internal/chaos"
+	"sensei/internal/dash"
 	"sensei/internal/origin"
 	"sensei/internal/stats"
 	"sensei/internal/video"
@@ -55,6 +57,10 @@ type SessionOutcome struct {
 	RatingsPosted      int `json:"ratings_posted,omitempty"`
 	RatingsAccepted    int `json:"ratings_accepted,omitempty"`
 	RatingsQuarantined int `json:"ratings_quarantined,omitempty"`
+	// Resilience is the session's fault ledger (nil unless the fleet ran
+	// under chaos): every transient failure survived, every degradation
+	// taken, counted never torn.
+	Resilience *dash.Resilience `json:"resilience,omitempty"`
 	// FinishedSec is when the session's stream completed, on the run
 	// clock — reconciliation uses it to tell a session that legitimately
 	// finished around a weight refresh from one the bump failed to reach.
@@ -142,6 +148,10 @@ type Report struct {
 	// cohorts ran): the client-summed rating counts reconciliation matches
 	// exactly against the origin's /stats ingest counters.
 	Ingest *IngestLedger `json:"ingest,omitempty"`
+	// Chaos is the two-sided fault ledger (nil unless the fleet ran under
+	// chaos): what the origin injected versus what the clients survived,
+	// reconciled exactly per endpoint kind.
+	Chaos *ChaosLedger `json:"chaos,omitempty"`
 	// Origin is the server's /stats snapshot after the fleet drained.
 	Origin origin.Stats `json:"origin"`
 	// Reconciliation cross-checks the two ledgers.
@@ -160,6 +170,32 @@ type IngestLedger struct {
 	RatingsQuarantined int64 `json:"ratings_quarantined"`
 	// SessionsRated counts sessions that posted at least one rating.
 	SessionsRated int `json:"sessions_rated"`
+}
+
+// ChaosLedger is the fleet's two-sided fault ledger. Reconciliation
+// demands Injected and Survived agree exactly per endpoint kind: every
+// fault the origin injected was observed by exactly one client request,
+// and no client counted a fault the origin never threw.
+type ChaosLedger struct {
+	// Seed is the policy seed the whole fault schedule replays from.
+	Seed uint64 `json:"seed"`
+	// Injected counts origin-side faults per endpoint kind; InjectedByMode
+	// breaks the same total down per failure mode.
+	Injected       map[string]int64 `json:"injected"`
+	InjectedByMode map[string]int64 `json:"injected_by_mode"`
+	// Survived counts client-observed transient failures per endpoint kind,
+	// summed across every session's Resilience ledger (failed included).
+	Survived map[string]int64 `json:"survived"`
+	// Retries, Truncations and the degradation counters sum the client
+	// side's recovery activity.
+	Retries          int64 `json:"retries"`
+	Truncations      int64 `json:"truncations"`
+	SegmentFallbacks int64 `json:"segment_fallbacks"`
+	StaleWeightsKept int64 `json:"stale_weights_kept"`
+	RatingsDropped   int64 `json:"ratings_dropped"`
+	Degradations     int64 `json:"degradations"`
+	// Events is the origin's fault journal, replayable from Seed alone.
+	Events []chaos.Event `json:"events,omitempty"`
 }
 
 // buildReport aggregates outcomes and reconciles them against the origin's
@@ -251,6 +287,38 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, refresh *RefreshOut
 			}
 		}
 		r.Ingest = led
+	}
+	// A chaos run (the origin reports injector counters) gets the summed
+	// client-side fault ledger, failed sessions included: whatever a dying
+	// session observed was still injected by the origin.
+	if st.Chaos != nil {
+		cl := &ChaosLedger{
+			Injected:       map[string]int64{},
+			InjectedByMode: map[string]int64{},
+			Survived:       map[string]int64{},
+		}
+		for k, n := range st.Chaos.ByKind {
+			cl.Injected[k] = n
+		}
+		for m, n := range st.Chaos.ByMode {
+			cl.InjectedByMode[m] = n
+		}
+		for i := range outcomes {
+			res := outcomes[i].Resilience
+			if res == nil {
+				continue
+			}
+			for k, n := range res.FaultsByKind {
+				cl.Survived[k] += n
+			}
+			cl.Retries += res.Retries
+			cl.Truncations += res.Truncations
+			cl.SegmentFallbacks += res.SegmentFallbacks
+			cl.StaleWeightsKept += res.StaleWeightsKept
+			cl.RatingsDropped += res.RatingsDropped
+			cl.Degradations += res.Degradations()
+		}
+		r.Chaos = cl
 	}
 	r.RebufferSec = percentilesOf(rebuf)
 	r.ThroughputMbps = percentilesOf(thrMbps)
@@ -359,6 +427,28 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 				st.ProfilesRefreshed, expectedRefreshes)
 		}
 	}
+	// Chaos fault ledger: every fault the injector threw must have been
+	// observed by exactly one client request, per endpoint kind — a deficit
+	// means a fault vanished (e.g. the transport transparently retried over
+	// the clients' heads), a surplus means a client blamed chaos for a
+	// failure the origin never injected.
+	if st.Chaos != nil && r.Chaos != nil {
+		if st.Chaos.JournalDropped != 0 {
+			problem("chaos journal dropped %d events (run not replayable)", st.Chaos.JournalDropped)
+		}
+		kinds := map[string]bool{}
+		for k := range r.Chaos.Injected {
+			kinds[k] = true
+		}
+		for k := range r.Chaos.Survived {
+			kinds[k] = true
+		}
+		for _, k := range sortedKeys(kinds) {
+			if inj, srv := r.Chaos.Injected[k], r.Chaos.Survived[k]; inj != srv {
+				problem("origin injected %d %s faults, clients observed %d", inj, k, srv)
+			}
+		}
+	}
 	if r.Refresh != nil {
 		switch {
 		case r.Refresh.Err != "":
@@ -366,8 +456,11 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 		case !r.Refresh.Applied:
 			problem("scheduled refresh never applied")
 		default:
+			// The autopilot may legitimately bump past the operator refresh
+			// in a closed-loop run, so /stats must be at least the published
+			// epoch — anything lower means the publish was lost.
 			for videoName, epoch := range r.Refresh.Epochs {
-				if st.WeightEpochs[videoName] != epoch {
+				if st.WeightEpochs[videoName] < epoch {
 					problem("refresh published epoch %d for %q, /stats reports %d",
 						epoch, videoName, st.WeightEpochs[videoName])
 				}
@@ -392,7 +485,9 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 					continue
 				}
 				want := r.Refresh.Epochs[o.Video]
-				if o.WeightEpoch == want {
+				if o.WeightEpoch >= want {
+					// On the refreshed epoch, or past it (an autonomous bump
+					// landed after the operator's): the refresh reached it.
 					r.Refresh.SessionsConverged++
 					continue
 				}
@@ -408,6 +503,26 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 	}
 	rec.Ok = len(rec.Problems) == 0
 	return rec
+}
+
+// toSet lifts a counter map's keys into a set for sortedKeys.
+func toSet(m map[string]int64) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+// sortedKeys returns a set's keys in deterministic order, so problem lists
+// and rendered sections are stable across runs.
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Render formats the report as a human-readable summary.
@@ -463,6 +578,25 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&b, "; autopilot: %d refreshes triggered, %d applied", ing.RefreshesTriggered, ing.RefreshesApplied)
 			if ing.RefreshErrors > 0 || ing.TriggersDropped > 0 {
 				fmt.Fprintf(&b, " (%d errored, %d dropped)", ing.RefreshErrors, ing.TriggersDropped)
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	if r.Chaos != nil {
+		var injected int64
+		for _, n := range r.Chaos.Injected {
+			injected += n
+		}
+		fmt.Fprintf(&b, "chaos: %d faults injected (seed %#x), %d client retries", injected, r.Chaos.Seed, r.Chaos.Retries)
+		if r.Chaos.Degradations > 0 {
+			fmt.Fprintf(&b, "; degradations: %d fallbacks, %d stale-weight holds, %d ratings dropped",
+				r.Chaos.SegmentFallbacks, r.Chaos.StaleWeightsKept, r.Chaos.RatingsDropped)
+		}
+		if len(r.Chaos.Injected) > 0 {
+			b.WriteString("\n  by kind:")
+			for _, k := range sortedKeys(toSet(r.Chaos.Injected)) {
+				fmt.Fprintf(&b, " %s=%d", k, r.Chaos.Injected[k])
 			}
 		}
 		b.WriteByte('\n')

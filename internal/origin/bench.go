@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"sensei/internal/chaos"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -28,6 +29,14 @@ type SegmentBenchHarness struct {
 // NewSegmentBenchHarness starts an origin serving a short catalog excerpt
 // and joins one session for the top ladder rung. Close it when done.
 func NewSegmentBenchHarness() (*SegmentBenchHarness, error) {
+	return NewSegmentBenchHarnessWithChaos(nil)
+}
+
+// NewSegmentBenchHarnessWithChaos is NewSegmentBenchHarness with a chaos
+// policy mounted. Benchmarks pass a zero-rate policy to measure the cost
+// of the middleware being present but idle — the "chaos off the hot path"
+// contract — without any fault ever firing.
+func NewSegmentBenchHarnessWithChaos(p *chaos.Policy) (*SegmentBenchHarness, error) {
 	full, err := video.ByName("Soccer1")
 	if err != nil {
 		return nil, err
@@ -41,6 +50,7 @@ func NewSegmentBenchHarness() (*SegmentBenchHarness, error) {
 		Traces:       map[string]*trace.Trace{"wire": {Name: "wire", BitsPerSecond: []float64{1e15}}},
 		DefaultTrace: "wire",
 		TimeScale:    0.001,
+		Chaos:        p,
 	})
 	if err != nil {
 		return nil, err

@@ -41,10 +41,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sensei/internal/chaos"
 	"sensei/internal/dash"
 	"sensei/internal/ingest"
 	"sensei/internal/par"
@@ -91,6 +93,13 @@ type Config struct {
 	// publishes (see internal/ingest). Requires Profile — autonomous
 	// refreshes re-profile chunk windows with it.
 	Ingest *ingest.Config
+	// Chaos, when non-nil, mounts the seeded fault-injection plane as
+	// middleware in front of the data and control planes (never /stats or
+	// /refresh): requests are faulted per the policy and the injected-fault
+	// ledger appears under /stats for two-sided reconciliation. Nil keeps
+	// the middleware off the request path entirely — the healthy segment
+	// path pays nothing for the plane's existence.
+	Chaos *chaos.Policy
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -108,8 +117,10 @@ type Origin struct {
 	cfg      Config
 	videos   map[string]*video.Video
 	store    *WeightService
-	feedback *ingest.Plane // nil when the closed loop is disabled
+	feedback *ingest.Plane   // nil when the closed loop is disabled
+	chaos    *chaos.Injector // nil when fault injection is disabled
 	mux      *http.ServeMux
+	handler  http.Handler // mux, possibly behind the chaos middleware
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -196,6 +207,15 @@ func New(cfg Config) (*Origin, error) {
 	}
 	mux.HandleFunc("GET /stats", o.handleStats)
 	o.mux = mux
+	o.handler = mux
+	if cfg.Chaos != nil {
+		inj, err := chaos.NewInjector(*cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("origin: %w", err)
+		}
+		o.chaos = inj
+		o.handler = inj.Middleware(mux, classifyChaos)
+	}
 
 	interval := cfg.SessionIdleTimeout / 4
 	if interval < 10*time.Millisecond {
@@ -286,7 +306,46 @@ func (o *Origin) RefreshWeights(videoName string, lo, hi int) (*sensitivity.Prof
 }
 
 // ServeHTTP implements http.Handler.
-func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.mux.ServeHTTP(w, r) }
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.handler.ServeHTTP(w, r) }
+
+// ChaosJournal returns the injected-fault replay journal (nil when fault
+// injection is disabled). Harnesses replay it against the policy seed to
+// prove every fault a run saw is reproducible.
+func (o *Origin) ChaosJournal() []chaos.Event {
+	if o.chaos == nil {
+		return nil
+	}
+	return o.chaos.Journal()
+}
+
+// classifyChaos maps a request to its chaos endpoint kind and stream key.
+// /stats and /refresh are deliberately unclassified: reconciliation and
+// operator controls stay reachable no matter how unhealthy the data plane
+// is. The stream key is the client-chosen chaos.KeyHeader, falling back to
+// the session ID so ad-hoc clients still get per-session determinism.
+func classifyChaos(r *http.Request) (chaos.Kind, string, bool) {
+	var kind chaos.Kind
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/session",
+		r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/session/"):
+		kind = chaos.KindSession
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v/") && strings.HasSuffix(r.URL.Path, "/manifest.mpd"):
+		kind = chaos.KindManifest
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v/") && strings.Contains(r.URL.Path, "/segment/"):
+		kind = chaos.KindSegment
+	case r.Method == http.MethodGet && r.URL.Path == "/weights":
+		kind = chaos.KindWeights
+	case r.Method == http.MethodPost && r.URL.Path == "/rating":
+		kind = chaos.KindRating
+	default:
+		return "", "", false
+	}
+	key := r.Header.Get(chaos.KeyHeader)
+	if key == "" {
+		key = r.URL.Query().Get("sid")
+	}
+	return kind, key, true
+}
 
 func (o *Origin) logf(format string, args ...any) {
 	if o.cfg.Logf != nil {
@@ -608,6 +667,25 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 	// lock-peek, never a campaign — a cold video simply advertises 0.
 	w.Header().Set(WeightEpochHeader, strconv.FormatUint(o.store.EpochOf(v.Name), 10))
 
+	// Injected truncation (the chaos middleware planted a plan in the
+	// request context): declare the full Content-Length above but deliver
+	// only a prefix, then abort the connection. Only the delivered bytes
+	// are counted — never the segment itself — so the client's partial read
+	// and this ledger agree exactly under retry.
+	deliver := size
+	truncated := false
+	if frac, ok := chaos.TruncationFraction(r.Context()); ok && size >= 2 {
+		deliver = int(float64(size) * frac)
+		if deliver < 1 {
+			deliver = 1
+		}
+		if deliver >= size {
+			deliver = size - 1
+		}
+		truncated = true
+		w.Header().Set(chaos.InjectedHeader, string(chaos.ModeTruncate))
+	}
+
 	// Stream slices of the shared pattern, sleeping per the session's
 	// shaper so this client observes its own trace's bandwidth. All
 	// accounting happens before the corresponding Write: Content-Length
@@ -615,7 +693,7 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 	// observe the transfer complete and read /stats — counters updated
 	// after the Write would race with that read.
 	ctx := r.Context()
-	remaining := size
+	remaining := deliver
 	for remaining > 0 {
 		n := len(segmentPattern)
 		if remaining < n {
@@ -629,7 +707,7 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		sess.bytes.Add(int64(n))
 		o.bytesServed.Add(int64(n))
 		remaining -= n
-		if remaining == 0 {
+		if remaining == 0 && !truncated {
 			sess.segments.Add(1)
 			o.segmentsServed.Add(1)
 			o.videoHit(v.Name)
@@ -645,6 +723,12 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
+	}
+	if truncated {
+		// Hang up mid-transfer: the flushed prefix reaches the client,
+		// which must observe a short body, not a clean EOF at the declared
+		// length. The deferred release clears the in-flight mark.
+		panic(http.ErrAbortHandler)
 	}
 }
 
@@ -687,7 +771,10 @@ type Stats struct {
 	WeightEpochs      map[string]uint64 `json:"weight_epochs,omitempty"`
 	// Ingest is the closed feedback loop's ledger (nil when disabled):
 	// rating accept/quarantine counts and the autonomous refresh counters.
-	Ingest   *ingest.Stats  `json:"ingest,omitempty"`
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
+	// Chaos is the injected-fault ledger (nil when fault injection is
+	// disabled), reconciled exactly against client Resilience ledgers.
+	Chaos    *chaos.Stats   `json:"chaos,omitempty"`
 	Sessions []SessionStats `json:"sessions,omitempty"`
 }
 
@@ -727,8 +814,14 @@ func (o *Origin) Stats() Stats {
 		s := o.feedback.Stats()
 		ing = &s
 	}
+	var chs *chaos.Stats
+	if o.chaos != nil {
+		s := o.chaos.Stats()
+		chs = &s
+	}
 	return Stats{
 		Ingest:            ing,
+		Chaos:             chs,
 		ActiveSessions:    len(sessions),
 		SessionsCreated:   o.sessionsCreated.Load(),
 		SessionsClosed:    o.sessionsClosed.Load(),

@@ -48,12 +48,14 @@ import (
 	"context"
 
 	"sensei/internal/abr"
+	"sensei/internal/chaos"
 	"sensei/internal/crowd"
 	"sensei/internal/dash"
 	"sensei/internal/fleet"
 	"sensei/internal/ingest"
 	"sensei/internal/mos"
 	"sensei/internal/origin"
+	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/sensitivity"
@@ -384,3 +386,45 @@ const (
 func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetReport, error) {
 	return fleet.Run(ctx, cfg)
 }
+
+// Chaos plane: seeded, replayable fault injection on the origin's wire
+// protocol, and the client-side resilience contract that absorbs it —
+// bounded retry budgets with jittered backoff, a graceful-degradation
+// ladder, and per-session fault ledgers that reconcile exactly against the
+// injector's counters.
+type (
+	// ChaosConfig is a fault-injection policy: a seed, per-endpoint fault
+	// specs, the consecutive-fault ceiling and the stall/truncation
+	// tuning. Set it on DASHOriginConfig.Chaos to mount the middleware;
+	// nil keeps the origin entirely fault-free at zero cost.
+	ChaosConfig = chaos.Policy
+	// ChaosEndpointSpec is one endpoint kind's fault profile (rate and
+	// allowed failure modes).
+	ChaosEndpointSpec = chaos.Spec
+	// ChaosKind names a faultable endpoint class; ChaosMode a failure
+	// mode (error/reset/stall/truncate).
+	ChaosKind = chaos.Kind
+	ChaosMode = chaos.Mode
+	// ChaosStats is the injector's counter snapshot, embedded in
+	// DASHStats.Chaos.
+	ChaosStats = chaos.Stats
+	// ChaosEvent is one journaled fault, replayable from the policy seed
+	// via ChaosConfig.Replay.
+	ChaosEvent = chaos.Event
+	// RetryBackoff is the client-side retry posture: a bounded attempt
+	// budget with deterministic, jittered exponential delays. Set it on
+	// DASHClient.Retry.
+	RetryBackoff = par.Backoff
+	// ResilienceStats is a DASH client's per-session fault ledger: every
+	// transient failure survived and every degradation taken.
+	ResilienceStats = dash.Resilience
+	// FleetChaosSpec attaches the fault plane to a fleet run; the report
+	// gains a FleetChaosLedger reconciled per endpoint kind.
+	FleetChaosSpec = fleet.ChaosSpec
+	// FleetChaosLedger is the fleet's two-sided fault ledger.
+	FleetChaosLedger = fleet.ChaosLedger
+)
+
+// UniformChaos builds a policy faulting every endpoint kind at the same
+// per-request rate, with default modes, ceiling and tuning.
+func UniformChaos(seed uint64, rate float64) ChaosConfig { return chaos.Uniform(seed, rate) }
