@@ -24,11 +24,23 @@
 //
 // Usage:
 //
-//	dashserver [-addr 127.0.0.1:8428] [-videos all|Name1,Name2] [-excerpt N]
-//	           [-timescale 0.01] [-profile] [-pop 20000] [-weightdir weights]
-//	           [-idle 2m] [-autopilot] [-ap-window 4] [-ap-samples 32]
-//	           [-ap-interval 30s] [-ap-delta 0.25] [-chaos-rate 0]
-//	           [-chaos-seed N] [-chaos-max-consecutive 2]
+//	dashserver [-addr 127.0.0.1:8428] [-shards 1] [-videos all|Name1,Name2]
+//	           [-excerpt N] [-timescale 0.01] [-profile] [-pop 20000]
+//	           [-weightdir weights] [-idle 2m] [-autopilot] [-ap-window 4]
+//	           [-ap-samples 32] [-ap-interval 30s] [-ap-delta 0.25]
+//	           [-chaos-rate 0] [-chaos-seed N] [-chaos-max-consecutive 2]
+//	           [-pprof addr]
+//
+// -shards N > 1 fronts N origin shards behind the one listener with a
+// consistent-hash router: sessions are sticky (every request of a session
+// lands on the shard that owns its ID), the sensitivity plane is shared
+// (POST /refresh bumps every shard's epoch at once), and GET /stats merges
+// the per-shard ledgers exactly, reporting them under "shards". The client
+// protocol is unchanged. -autopilot requires a single origin (the feedback
+// autopilot is not shard-aware).
+//
+// -pprof serves net/http/pprof on a side listener for live profiling of
+// the serving hot path.
 //
 // -chaos-rate > 0 mounts seeded, replayable fault injection in front of the
 // data and control planes (never /stats or /refresh): 5xx errors,
@@ -50,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -76,6 +90,8 @@ func offeredTraces() (map[string]*sensei.Trace, string) {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8428", "listen address")
+	shards := flag.Int("shards", 1, "front N origin shards behind the listener with consistent-hash sticky sessions (1 = single origin)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (\"\" = off)")
 	videos := flag.String("videos", "all", `catalog: "all" or comma-separated Table 1 names`)
 	excerpt := flag.Int("excerpt", 0, "serve only the first N chunks of each video (0 = full)")
 	timescale := flag.Float64("timescale", 0.01, "default session wall-clock compression (0.01 = 100x faster)")
@@ -159,8 +175,18 @@ func main() {
 		chaosCfg = &p
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dashserver: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	traces, defaultTrace := offeredTraces()
-	o, err := sensei.NewDASHOrigin(sensei.DASHOriginConfig{
+	ocfg := sensei.DASHOriginConfig{
 		Catalog:            catalog,
 		Profile:            profileFn,
 		WeightDir:          *weightDir,
@@ -171,17 +197,41 @@ func main() {
 		Ingest:             ingestCfg,
 		Chaos:              chaosCfg,
 		Logf:               log.Printf,
-	})
-	if err != nil {
-		fail(err)
 	}
-	srv := sensei.NewDASHServer(o)
+	// The serving plane: a single origin, or -shards origins behind a
+	// consistent-hash router. Both expose the same endpoints; the branches
+	// only differ in construction and where the final stats come from.
+	var (
+		srv interface {
+			Start(addr string) (string, error)
+			Shutdown(ctx context.Context) error
+		}
+		finalStats func() any
+	)
+	if *shards > 1 {
+		rt, err := sensei.NewDASHRouter(sensei.DASHRouterConfig{Shards: *shards, Origin: ocfg})
+		if err != nil {
+			fail(err)
+		}
+		srv = sensei.NewDASHRouterServer(rt)
+		finalStats = func() any { return rt.Stats() }
+	} else {
+		o, err := sensei.NewDASHOrigin(ocfg)
+		if err != nil {
+			fail(err)
+		}
+		srv = sensei.NewDASHServer(o)
+		finalStats = func() any { return o.Stats() }
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("origin at http://%s serving %d videos (timescale %.3f, default trace %s)\n",
 		bound, len(catalog), *timescale, defaultTrace)
+	if *shards > 1 {
+		fmt.Printf("scale-out: %d origin shards behind a consistent-hash router; sessions are sticky, /stats merges the shard ledgers\n", *shards)
+	}
 	names := make([]string, 0, len(traces))
 	for name := range traces {
 		names = append(names, name)
@@ -208,7 +258,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dashserver: shutdown:", err)
 	}
-	out, _ := json.MarshalIndent(o.Stats(), "", "  ")
+	out, _ := json.MarshalIndent(finalStats(), "", "  ")
 	fmt.Printf("final stats:\n%s\n", out)
 }
 

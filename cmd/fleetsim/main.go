@@ -11,8 +11,16 @@
 //	fleetsim [-sessions 64] [-videos Soccer1,Tank,Mountain,Lava] [-excerpt 8]
 //	         [-abrs ratebased,bola,mpc,sensei-mpc] [-traces fast=32,slow=4]
 //	         [-timescales 0.05] [-workers 0] [-timeout 0] [-refresh 0]
-//	         [-closedloop] [-chaos] [-chaos-rate 0.08] [-chaos-seed N]
-//	         [-noweights] [-json] [-outcomes] [-v]
+//	         [-shards 1] [-closedloop] [-chaos] [-chaos-rate 0.08]
+//	         [-chaos-seed N] [-noweights] [-json] [-outcomes] [-pprof addr] [-v]
+//
+// -shards N > 1 runs the fleet against a consistent-hash router fronting N
+// origin shards instead of a single origin: sessions spread across shards
+// by session-ID hash, and reconciliation additionally proves the merged
+// /stats equals the sum of the per-shard ledgers with no shard leaking a
+// session — the scale-out smoke. Incompatible with -closedloop (the ingest
+// autopilot is not shard-aware). -pprof serves net/http/pprof on a side
+// listener for profiling the harness under load.
 //
 // -traces lists flat traces as name=Mbps pairs; -timescales is the
 // wall-clock compression mix. Sessions walk the full video×trace×abr×
@@ -41,6 +49,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +70,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrently running sessions (0 = all)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = none)")
 	refresh := flag.Duration("refresh", 0, "publish a catalog-wide weight refresh this long after every session joined (0 = none); the run fails unless every session converges on the new epoch")
+	shards := flag.Int("shards", 1, "run against N origin shards behind a consistent-hash router (1 = single origin); reconciliation then also proves the merged /stats equals the shard-ledger sums")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (\"\" = off)")
 	closedLoop := flag.Bool("closedloop", false, "attach rater cohorts and enable the origin's ingest autopilot (autonomous epoch bumps from live ratings)")
 	chaosOn := flag.Bool("chaos", false, "mount seeded fault injection on the origin and run resilient clients; the run fails unless every session survives and the fault ledgers reconcile per endpoint kind")
 	chaosRate := flag.Float64("chaos-rate", fleet.DefaultChaosRate, "uniform per-request fault probability per endpoint kind (with -chaos)")
@@ -72,8 +84,19 @@ func main() {
 
 	cfg := fleet.Config{
 		Sessions:     *sessions,
+		OriginShards: *shards,
 		KeepOutcomes: *outcomes,
 		Workers:      *workers,
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetsim: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	for _, name := range splitList(*videos) {

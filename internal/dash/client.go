@@ -776,7 +776,10 @@ func (c *Client) postRating(ctx context.Context, chunk int, epoch uint64, rating
 func (c *Client) postRatingOnce(ctx context.Context, body []byte) (accepted bool, respEpoch uint64, transient bool, err error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
-	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/rating", bytes.NewReader(body))
+	// The sid rides in the query (the body already carries it) so a
+	// sid-routing front like the multi-origin router can steer the rating
+	// to the session's shard without reading the body.
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.BaseURL+"/rating?sid="+url.QueryEscape(c.sid), bytes.NewReader(body))
 	if err != nil {
 		return false, 0, false, fmt.Errorf("dash: rating request: %w", err)
 	}

@@ -51,6 +51,12 @@ func (s *Shaper) VirtualNow() float64 {
 // long (wall clock) the caller must sleep before the bytes are considered
 // delivered. The shaper's cursor is kept in sync with wall-clock virtual
 // time so idle periods consume trace capacity like a real link.
+//
+// The returned duration is the incremental virtual cost of exactly these n
+// bytes, so callers may batch: one Throttle(n) for a whole segment sleeps
+// the same total wall time as one call per write slice (the trace
+// integral is linear in delivered bits), just with one timer wakeup
+// instead of many. The origin's segment path relies on this.
 func (s *Shaper) Throttle(n int) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()

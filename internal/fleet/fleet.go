@@ -30,6 +30,8 @@ import (
 	"sensei/internal/origin"
 	"sensei/internal/par"
 	"sensei/internal/player"
+	"sensei/internal/router"
+	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
 )
@@ -114,6 +116,14 @@ type Config struct {
 	// backoff budget, and the report gains a two-sided fault ledger that
 	// reconciliation matches exactly against /stats. Nil runs fault-free.
 	Chaos *ChaosSpec
+	// OriginShards, when > 1, runs the fleet against a multi-origin
+	// router (internal/router) fronting that many origin shards behind one
+	// listener instead of a single origin. Sessions spread across shards by
+	// consistent hash on the session ID; reconciliation additionally proves
+	// the merged /stats equals the sum of the per-shard ledgers and that no
+	// shard leaks a session. 0 or 1 runs the classic single origin. Raters
+	// require a single origin (the ingest autopilot is not shard-aware).
+	OriginShards int
 	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
 	// default).
 	SessionIdleTimeout time.Duration
@@ -323,6 +333,12 @@ func (c *Config) validate() error {
 				ceiling, budget)
 		}
 	}
+	if c.OriginShards < 0 {
+		return fmt.Errorf("fleet: negative origin shard count %d", c.OriginShards)
+	}
+	if c.OriginShards > 1 && c.Raters != nil {
+		return fmt.Errorf("fleet: rater cohorts need the ingest autopilot, which is not shard-aware; drop OriginShards or Raters")
+	}
 	if c.Raters != nil {
 		if c.Profile == nil {
 			// Autonomous refreshes re-profile chunk windows with the profile
@@ -388,6 +404,26 @@ func gcd(a, b int) int {
 	return a
 }
 
+// backend is the control-plane surface the harness needs from the serving
+// plane it boots, satisfied by both *origin.Origin and *router.Router: the
+// refresh watcher polls SessionsCreated, the scheduled refresh publishes
+// through PublishWeights, and the report drains/collects the ingest and
+// chaos planes.
+type backend interface {
+	Close()
+	SessionsCreated() int64
+	PublishWeights(videoName string, weights []float64) (*sensitivity.Profile, error)
+	DrainIngest(ctx context.Context) error
+	ChaosJournal() []chaos.Event
+}
+
+// server is the matching lifecycle surface, satisfied by *origin.Server and
+// *router.Server.
+type server interface {
+	Start(addr string) (string, error)
+	Close() error
+}
+
 // Run executes the fleet against a freshly started origin server on a
 // loopback listener and returns the aggregate report. Individual session
 // failures are recorded as outcomes (and fail reconciliation), not returned
@@ -448,7 +484,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		p := cfg.Chaos.Policy()
 		chaosPolicy = &p
 	}
-	o, err := origin.New(origin.Config{
+	ocfg := origin.Config{
 		Catalog:            cfg.Videos,
 		Profile:            cfg.Profile,
 		Traces:             cfg.Traces,
@@ -459,11 +495,28 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Ingest:             ingestCfg,
 		Chaos:              chaosPolicy,
 		Logf:               cfg.Logf,
-	})
-	if err != nil {
-		return nil, err
 	}
-	srv := origin.NewServer(o)
+	// The serving plane under test: a single origin, or — when the run
+	// proves scale-out — a consistent-hash router fronting OriginShards
+	// origin shards behind the same protocol. The harness drives both
+	// through the backend interface; the clients cannot tell the difference.
+	var o backend
+	var srv server
+	if cfg.OriginShards > 1 {
+		rt, err := router.New(router.Config{Shards: cfg.OriginShards, Origin: ocfg})
+		if err != nil {
+			return nil, err
+		}
+		o = rt
+		srv = router.NewServer(rt)
+	} else {
+		org, err := origin.New(ocfg)
+		if err != nil {
+			return nil, err
+		}
+		o = org
+		srv = origin.NewServer(org)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		o.Close()
@@ -584,11 +637,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	elapsed := time.Since(start)
 
 	// Read the ledger over the wire, like any external monitor would.
-	st, err := fetchStats(ctx, httpc, base)
+	st, shardSt, err := fetchStats(ctx, httpc, base)
 	if err != nil {
 		return nil, err
 	}
-	rep := buildReport(outcomes, st, refreshOut, elapsed, cfg.KeepOutcomes)
+	rep := buildReport(outcomes, st, shardSt, refreshOut, elapsed, cfg.KeepOutcomes)
 	if rep.Chaos != nil && chaosPolicy != nil {
 		// The journal plus the seed make the whole run's fault schedule
 		// independently reproducible via chaos.Policy.Replay.
@@ -677,29 +730,35 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 	return out
 }
 
-// fetchStats reads the origin's /stats ledger over HTTP. The caller's
+// fetchStats reads the serving plane's /stats ledger over HTTP. The caller's
 // cancellation is stripped — a fleet that timed out still needs its report —
 // but the detached request gets its own bound so a wedged origin (the class
-// of bug this harness hunts) cannot hang Run forever.
-func fetchStats(ctx context.Context, httpc *http.Client, base string) (origin.Stats, error) {
-	var st origin.Stats
+// of bug this harness hunts) cannot hang Run forever. The decode target is a
+// superset of origin.Stats: a router additionally reports the per-shard
+// ledgers behind its merge, which reconciliation cross-checks; a single
+// origin simply leaves them empty.
+func fetchStats(ctx context.Context, httpc *http.Client, base string) (origin.Stats, []origin.Stats, error) {
+	var st struct {
+		origin.Stats
+		Shards []origin.Stats `json:"shards"`
+	}
 	reqCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+"/stats", nil)
 	if err != nil {
-		return st, fmt.Errorf("fleet: stats request: %w", err)
+		return st.Stats, nil, fmt.Errorf("fleet: stats request: %w", err)
 	}
 	resp, err := httpc.Do(req)
 	if err != nil {
-		return st, fmt.Errorf("fleet: fetching stats: %w", err)
+		return st.Stats, nil, fmt.Errorf("fleet: fetching stats: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return st, fmt.Errorf("fleet: fetching stats: %s: %s", resp.Status, msg)
+		return st.Stats, nil, fmt.Errorf("fleet: fetching stats: %s: %s", resp.Status, msg)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return st, fmt.Errorf("fleet: decoding stats: %w", err)
+		return st.Stats, nil, fmt.Errorf("fleet: decoding stats: %w", err)
 	}
-	return st, nil
+	return st.Stats, st.Shards, nil
 }

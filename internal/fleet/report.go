@@ -154,6 +154,10 @@ type Report struct {
 	Chaos *ChaosLedger `json:"chaos,omitempty"`
 	// Origin is the server's /stats snapshot after the fleet drained.
 	Origin origin.Stats `json:"origin"`
+	// ShardStats holds the per-shard ledgers behind Origin when the fleet
+	// ran against a multi-origin router (Config.OriginShards > 1); empty for
+	// a single origin. Reconciliation proves Origin is exactly their sum.
+	ShardStats []origin.Stats `json:"origin_shards,omitempty"`
 	// Reconciliation cross-checks the two ledgers.
 	Reconciliation Reconciliation `json:"reconciliation"`
 	// Outcomes holds the per-session rows when Config.KeepOutcomes is set.
@@ -200,7 +204,7 @@ type ChaosLedger struct {
 
 // buildReport aggregates outcomes and reconciles them against the origin's
 // ledger.
-func buildReport(outcomes []SessionOutcome, st origin.Stats, refresh *RefreshOutcome, elapsed time.Duration, keepOutcomes bool) *Report {
+func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.Stats, refresh *RefreshOutcome, elapsed time.Duration, keepOutcomes bool) *Report {
 	r := &Report{
 		Sessions:   len(outcomes),
 		ElapsedSec: elapsed.Seconds(),
@@ -209,6 +213,7 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, refresh *RefreshOut
 		ByEpoch:    map[string]Cohort{},
 		Refresh:    refresh,
 		Origin:     st,
+		ShardStats: shardSt,
 	}
 	if r.ElapsedSec > 0 {
 		r.SessionsPerSec = float64(r.Sessions) / r.ElapsedSec
@@ -364,6 +369,44 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 	}
 	if hitSum != r.SegmentsDownloaded {
 		problem("per-video hits sum to %d, fleet downloaded %d segments", hitSum, r.SegmentsDownloaded)
+	}
+
+	// Sharded runs: the router's merged ledger must be exactly the sum of
+	// the per-shard ledgers it reports, and no individual shard may leak a
+	// session — session stickiness means every lifecycle event of a session
+	// lands on one shard, so per-shard active counts drain to zero just like
+	// a single origin's.
+	if len(r.ShardStats) > 0 {
+		var bytes, segs, created, closed, expired int64
+		var active int
+		hits := map[string]int64{}
+		for i, s := range r.ShardStats {
+			bytes += s.BytesServed
+			segs += s.SegmentsServed
+			created += s.SessionsCreated
+			closed += s.SessionsClosed
+			expired += s.SessionsExpired
+			active += s.ActiveSessions
+			for name, n := range s.VideoHits {
+				hits[name] += n
+			}
+			if s.ActiveSessions != 0 {
+				problem("shard %d still holds %d active sessions after the fleet drained", i, s.ActiveSessions)
+			}
+		}
+		if bytes != st.BytesServed || segs != st.SegmentsServed {
+			problem("shard ledgers sum to %d bytes / %d segments, merged /stats reports %d / %d",
+				bytes, segs, st.BytesServed, st.SegmentsServed)
+		}
+		if created != st.SessionsCreated || closed != st.SessionsClosed || expired != st.SessionsExpired || active != st.ActiveSessions {
+			problem("shard session counters sum to %d created / %d closed / %d expired / %d active, merged /stats reports %d / %d / %d / %d",
+				created, closed, expired, active, st.SessionsCreated, st.SessionsClosed, st.SessionsExpired, st.ActiveSessions)
+		}
+		for name, n := range hits {
+			if st.VideoHits[name] != n {
+				problem("shard hits for %q sum to %d, merged /stats reports %d", name, n, st.VideoHits[name])
+			}
+		}
 	}
 
 	// Epoch accounting: every epoch cohort must be made of real sessions
@@ -598,6 +641,14 @@ func (r *Report) Render() string {
 			for _, k := range sortedKeys(toSet(r.Chaos.Injected)) {
 				fmt.Fprintf(&b, " %s=%d", k, r.Chaos.Injected[k])
 			}
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.ShardStats) > 0 {
+		fmt.Fprintf(&b, "shards: %d origins behind the router; sessions", len(r.ShardStats))
+		for _, s := range r.ShardStats {
+			fmt.Fprintf(&b, " %d", s.SessionsCreated)
 		}
 		b.WriteByte('\n')
 	}

@@ -12,6 +12,35 @@ import (
 	"sensei/internal/video"
 )
 
+// BenchVideo returns the catalog excerpt every origin micro-benchmark
+// serves: the first 6 chunks of Soccer1. One shared definition keeps the
+// serial harness, the parallel harness, the router bench and the committed
+// BENCH_baseline.json measuring identical payloads.
+func BenchVideo() (*video.Video, error) {
+	full, err := video.ByName("Soccer1")
+	if err != nil {
+		return nil, err
+	}
+	return full.Excerpt(0, 6)
+}
+
+// BenchConfig returns the origin config the micro-benchmarks run: the
+// bench video behind a near-infinite-rate trace, so shaping sleeps vanish
+// and the measurement isolates routing, session resolve and the streaming
+// loop.
+func BenchConfig() (Config, error) {
+	v, err := BenchVideo()
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Catalog:      []*video.Video{v},
+		Traces:       map[string]*trace.Trace{"wire": {Name: "wire", BitsPerSecond: []float64{1e15}}},
+		DefaultTrace: "wire",
+		TimeScale:    0.001,
+	}, nil
+}
+
 // SegmentBenchHarness drives the origin's segment hot path — routing,
 // session lookup and the shared-pattern streaming loop — over real TCP
 // with shaping effectively disabled (a near-infinite-rate trace). It is
@@ -37,21 +66,13 @@ func NewSegmentBenchHarness() (*SegmentBenchHarness, error) {
 // of the middleware being present but idle — the "chaos off the hot path"
 // contract — without any fault ever firing.
 func NewSegmentBenchHarnessWithChaos(p *chaos.Policy) (*SegmentBenchHarness, error) {
-	full, err := video.ByName("Soccer1")
+	cfg, err := BenchConfig()
 	if err != nil {
 		return nil, err
 	}
-	v, err := full.Excerpt(0, 6)
-	if err != nil {
-		return nil, err
-	}
-	o, err := New(Config{
-		Catalog:      []*video.Video{v},
-		Traces:       map[string]*trace.Trace{"wire": {Name: "wire", BitsPerSecond: []float64{1e15}}},
-		DefaultTrace: "wire",
-		TimeScale:    0.001,
-		Chaos:        p,
-	})
+	cfg.Chaos = p
+	v := cfg.Catalog[0]
+	o, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -117,3 +138,132 @@ func (h *SegmentBenchHarness) Fetch() error {
 
 // Close shuts the harness's origin down.
 func (h *SegmentBenchHarness) Close() { _ = h.srv.Close() }
+
+// SegmentBenchClient drives the segment path of any origin-protocol server
+// — a single origin or the multi-origin router — with N concurrent
+// sessions. It exists for the parallel throughput benchmarks: the serial
+// harness measures per-request latency, this one measures how the serving
+// plane scales when many sessions stream at once.
+//
+// The benchmark segment is the BOTTOM ladder rung: parallel throughput is
+// meant to expose registry and scheduling contention, and a small payload
+// keeps the measurement request-bound instead of loopback-memcpy-bound
+// (the top rung at thousands of segments/sec would saturate memory
+// bandwidth long before it stressed the session plane).
+type SegmentBenchClient struct {
+	// SegmentBytes is the size of the segment each FetchSession transfers.
+	SegmentBytes int64
+
+	httpc   *http.Client
+	urls    []string // one benchmark segment URL per session
+	closeFn func() error
+}
+
+// BenchRung is the ladder rung SegmentBenchClient fetches.
+const BenchRung = 0
+
+// NewSegmentBenchClient joins sessions against an origin-protocol server
+// already listening at base (e.g. "http://127.0.0.1:8428") and prepares
+// one bottom-rung segment URL per session. closeFn, if non-nil, runs on
+// Close (harness constructors pass the server's shutdown). The first fetch
+// of every session runs eagerly to warm connections and verify the path.
+func NewSegmentBenchClient(base string, v *video.Video, sessions int, closeFn func() error) (*SegmentBenchClient, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("origin: bench client with %d sessions", sessions)
+	}
+	c := &SegmentBenchClient{
+		SegmentBytes: int64(v.ChunkSizeBits(0, BenchRung) / 8),
+		httpc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        2*sessions + 8,
+			MaxIdleConnsPerHost: 2*sessions + 8,
+		}},
+		closeFn: closeFn,
+	}
+	join, err := json.Marshal(JoinRequest{Video: v.Name})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sessions; i++ {
+		resp, err := c.httpc.Post(base+"/session", "application/json", bytes.NewReader(join))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("origin: bench join %d: %s", i, resp.Status)
+		}
+		var jr JoinResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		c.urls = append(c.urls, fmt.Sprintf("%s/v/%s/segment/0/%d?sid=%s", base, v.Name, BenchRung, jr.SessionID))
+	}
+	for i := range c.urls {
+		if err := c.FetchSession(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Sessions reports how many sessions the client joined.
+func (c *SegmentBenchClient) Sessions() int { return len(c.urls) }
+
+// FetchSession downloads session i's benchmark segment once, validating
+// status and size. Distinct sessions may fetch concurrently.
+func (c *SegmentBenchClient) FetchSession(i int) error {
+	resp, err := c.httpc.Get(c.urls[i%len(c.urls)])
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("origin: bench segment: %s", resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return err
+	}
+	if n != c.SegmentBytes {
+		return fmt.Errorf("origin: bench segment %d bytes, want %d", n, c.SegmentBytes)
+	}
+	return nil
+}
+
+// Close closes idle connections and runs the harness teardown, if any.
+func (c *SegmentBenchClient) Close() error {
+	c.httpc.CloseIdleConnections()
+	if c.closeFn != nil {
+		return c.closeFn()
+	}
+	return nil
+}
+
+// NewParallelSegmentBenchHarness starts a fresh single origin and joins
+// sessions against it — the "one process, striped registry" arm of the
+// parallel throughput comparison (internal/router's bench harness is the
+// sharded arm).
+func NewParallelSegmentBenchHarness(sessions int) (*SegmentBenchClient, error) {
+	cfg, err := BenchConfig()
+	if err != nil {
+		return nil, err
+	}
+	o, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(o)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		o.Close()
+		return nil, err
+	}
+	c, err := NewSegmentBenchClient("http://"+addr, cfg.Catalog[0], sessions, srv.Close)
+	if err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	return c, nil
+}

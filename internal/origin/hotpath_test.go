@@ -1,0 +1,275 @@
+package origin
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensei/internal/dash"
+)
+
+// newHotPathOrigin builds an in-memory origin on the bench catalog
+// (profiled, wire trace) without starting a TCP server — these tests
+// exercise the handlers and registry directly.
+func newHotPathOrigin(t testing.TB) *Origin {
+	t.Helper()
+	cfg, err := BenchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = trueSensitivityProfile
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	return o
+}
+
+// joinDirect registers a session without HTTP.
+func joinDirect(t testing.TB, o *Origin) *session {
+	t.Helper()
+	v := o.cfg.Catalog[0]
+	s, err := newTestSession(o, v.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.addSession(s) {
+		t.Fatal("addSession refused")
+	}
+	return s
+}
+
+// newTestSession builds a registrable session on the origin's default
+// trace.
+func newTestSession(o *Origin, videoName string) (*session, error) {
+	shaper, err := dash.NewShaper(o.cfg.Traces[o.cfg.DefaultTrace], o.cfg.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id:        newSessionID(),
+		videoName: videoName,
+		traceName: o.cfg.DefaultTrace,
+		timeScale: o.cfg.TimeScale,
+		shaper:    shaper,
+		created:   time.Now(),
+	}
+	s.touch(s.created)
+	return s, nil
+}
+
+// TestRegistryShardStress hammers the striped registry from every angle at
+// once — joins, streams (lookup + in-flight mark + per-stripe accounting),
+// voluntary leaves, idle expiry and /stats folds — and then reconciles the
+// lifecycle ledger exactly. Run under -race this is the registry's
+// linearizability smoke: the lookup/in-flight/remove contract must hold on
+// every stripe.
+func TestRegistryShardStress(t *testing.T) {
+	o := newHotPathOrigin(t)
+	v := o.cfg.Catalog[0]
+
+	const workers = 8
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+
+	var wg, antWg sync.WaitGroup
+	var streamed atomic.Int64
+	stop := make(chan struct{})
+
+	// Janitor antagonist: expire anything idle "an hour from now", so every
+	// session not mid-stream is a candidate the moment it appears. Paced —
+	// each lap locks all 32 stripes, and a busy spin starves the workers on
+	// a single-CPU runner.
+	antWg.Add(1)
+	go func() {
+		defer antWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				o.expireIdle(time.Now().Add(o.cfg.SessionIdleTimeout + time.Hour))
+			}
+		}
+	}()
+	// Stats antagonist: folds every stripe while the others mutate them.
+	antWg.Add(1)
+	go func() {
+		defer antWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				st := o.Stats()
+				if st.ActiveSessions < 0 {
+					t.Error("negative active sessions")
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s, err := newTestSession(o, v.Name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !o.addSession(s) {
+					t.Error("registry refused a join under cap")
+					return
+				}
+				// Stream: resolve + hold in-flight, account, release — the
+				// handler's skeleton without HTTP. While held, neither the
+				// janitor antagonist nor a concurrent remove may take it.
+				got, ok := o.lookupSessionStream(s.id)
+				if !ok || got != s {
+					t.Errorf("worker %d: session %s vanished before its stream", w, s.id)
+					return
+				}
+				if o.removeSession(s.id) != removeBusy {
+					t.Errorf("worker %d: in-flight session %s was removable", w, s.id)
+					return
+				}
+				got.bytes.Add(1024)
+				got.shard.bytes.Add(1024)
+				got.segments.Add(1)
+				got.shard.segments.Add(1)
+				got.inflight.Add(-1)
+				streamed.Add(1)
+				// Half leave voluntarily; half go idle for the janitor.
+				if i%2 == 0 {
+					switch o.removeSession(s.id) {
+					case removeDone, removeMissing: // missing: janitor won the race after release
+					default:
+						t.Errorf("worker %d: drained session %s not removable", w, s.id)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	antWg.Wait()
+
+	// Let the janitor antagonist's final laps finish via a direct sweep.
+	o.expireIdle(time.Now().Add(o.cfg.SessionIdleTimeout + time.Hour))
+
+	st := o.Stats()
+	want := int64(workers * iters)
+	if st.SessionsCreated != want {
+		t.Fatalf("created %d sessions, want %d", st.SessionsCreated, want)
+	}
+	if st.ActiveSessions != 0 {
+		t.Fatalf("%d sessions leaked past leave+expiry", st.ActiveSessions)
+	}
+	if got := st.SessionsClosed + st.SessionsExpired; got != want {
+		t.Fatalf("closed %d + expired %d = %d, want %d", st.SessionsClosed, st.SessionsExpired, got, want)
+	}
+	if st.SegmentsServed != streamed.Load() || st.BytesServed != streamed.Load()*1024 {
+		t.Fatalf("stripe ledger fold: %d segments / %d bytes, want %d / %d",
+			st.SegmentsServed, st.BytesServed, streamed.Load(), streamed.Load()*1024)
+	}
+	if o.active.Load() != 0 {
+		t.Fatalf("active reservation leaked: %d", o.active.Load())
+	}
+}
+
+// nullResponseWriter is the allocation test's sink: a ResponseWriter (and
+// Flusher, like the real one on the segment path) that retains its header
+// map across requests and discards the body.
+type nullResponseWriter struct {
+	h http.Header
+	n int64
+}
+
+func (w *nullResponseWriter) Header() http.Header        { return w.h }
+func (w *nullResponseWriter) WriteHeader(statusCode int) {}
+func (w *nullResponseWriter) Flush()                     {}
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestSegmentSteadyStateZeroAlloc pins the hot-path contract: after the
+// first request warms the per-video caches (epoch stamp, profile holder),
+// serving a segment allocates nothing. Any regression here is a
+// per-segment GC tax at production rates.
+func TestSegmentSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	o := newHotPathOrigin(t)
+	v := o.cfg.Catalog[0]
+	s := joinDirect(t, o)
+
+	// Resolve the profile so the epoch beacon exercises the cached-holder
+	// path, not the cold zeroEpochHeader shortcut.
+	if _, err := o.profileOf(o.videos[v.Name]); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/v/%s/segment/0/%d?sid=%s", v.Name, BenchRung, s.id), nil)
+	req.SetPathValue("video", v.Name)
+	req.SetPathValue("chunk", "0")
+	req.SetPathValue("rung", fmt.Sprint(BenchRung))
+	w := &nullResponseWriter{h: make(http.Header)}
+
+	o.handleSegment(w, req) // warm: header map entries, epoch stamp
+	if w.n == 0 {
+		t.Fatal("warm-up request served no bytes")
+	}
+	wantBytes := w.n
+
+	allocs := testing.AllocsPerRun(200, func() {
+		w.n = 0
+		o.handleSegment(w, req)
+		if w.n != wantBytes {
+			t.Fatalf("served %d bytes, want %d", w.n, wantBytes)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state segment path allocates %.1f objects/op, want 0", allocs)
+	}
+	if got := w.h.Get(WeightEpochHeader); got == "" || got == "0" {
+		t.Fatalf("epoch beacon %q; want a live epoch (holder cache not engaged)", got)
+	}
+}
+
+// BenchmarkOriginSegmentParallel measures bottom-rung segment throughput
+// with 8 sessions streaming concurrently against one origin — the striped
+// registry under real TCP load (compare router.BenchmarkRouterSegment for
+// the sharded arm).
+func BenchmarkOriginSegmentParallel(b *testing.B) {
+	h, err := NewParallelSegmentBenchHarness(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.SetBytes(h.SegmentBytes)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % h.Sessions()
+		for pb.Next() {
+			if err := h.FetchSession(i); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

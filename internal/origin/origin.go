@@ -32,6 +32,16 @@
 // re-profiling, with the current epoch advertised on every segment
 // response so mid-stream clients converge on a new epoch within one
 // segment download.
+//
+// The serving hot path is engineered for throughput: the session registry
+// is lock-striped (see session.go) so concurrent streams never serialize
+// on one registry mutex, per-segment accounting lands on per-stripe
+// counters folded only at /stats time, and the steady-state segment
+// handler allocates nothing — response headers, segment sizes and the
+// epoch stamp are all preformatted per catalog video at construction or on
+// epoch change, and the per-request throttle is one batched sleep instead
+// of one per written slice. TestSegmentSteadyStateZeroAlloc pins the
+// zero-allocation contract.
 package origin
 
 import (
@@ -39,6 +49,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,6 +83,12 @@ type Config struct {
 	// WeightDir, when non-empty, persists computed weights on disk so they
 	// survive a process restart.
 	WeightDir string
+	// Weights, when non-nil, is an externally owned weight service this
+	// origin serves from instead of building its own (Profile and WeightDir
+	// are then ignored). The multi-origin router injects one shared service
+	// into every shard so a video profiles at most once per process and an
+	// epoch bump is visible on all shards at once.
+	Weights *WeightService
 	// Traces are the named throughput traces sessions can choose from.
 	// At least one is required.
 	Traces map[string]*trace.Trace
@@ -111,28 +128,78 @@ type Config struct {
 // client side (dash) so the protocol has one source of truth.
 const WeightEpochHeader = dash.WeightEpochHeader
 
+// SessionIDHeader, when present on POST /session, names the session ID the
+// origin must assign instead of minting one. The multi-origin router uses
+// it to keep routing stateless: it mints the ID, picks the owning shard by
+// consistent hash, and every later request for that sid hashes back to the
+// same shard with no router-side session table.
+const SessionIDHeader = "X-Sensei-Session-Id"
+
+// Preformatted single-value response headers, assigned directly into the
+// header map so the steady-state data plane never formats or allocates
+// header values. net/http only ever reads them, and the keys are already
+// in canonical MIME form.
+var (
+	hdrVideoMP4     = []string{"video/mp4"}
+	hdrDashXML      = []string{"application/dash+xml"}
+	hdrJSON         = []string{"application/json"}
+	zeroEpochHeader = []string{"0"}
+)
+
+// epochStamp is a preformatted X-Sensei-Weight-Epoch value, rebuilt only
+// when the epoch actually changes so the per-segment stamp is two atomic
+// loads, not a FormatUint.
+type epochStamp struct {
+	epoch  uint64
+	header []string
+}
+
+// cachedBody is an epoch-stamped preserialized response body (manifest or
+// weights JSON). Bodies are immutable once built; a refresh publishes a
+// new epoch and the next request rebuilds the cache entry.
+type cachedBody struct {
+	epoch    uint64
+	epochHdr []string
+	body     []byte
+}
+
+// catalogEntry is one catalog video plus everything the data plane wants
+// preformatted: per-(chunk,rung) payload sizes and Content-Length header
+// values (built at construction — the catalog is known up front, so the
+// old first-hit sync.Map allocation race is gone), the per-video segment
+// hit counter, the cached profile holder for lock-free epoch stamping, and
+// per-epoch cached manifest/weights bodies.
+type catalogEntry struct {
+	v      *video.Video
+	hits   atomic.Int64
+	sizes  [][]int      // [chunk][rung] payload bytes
+	clHdrs [][][]string // [chunk][rung] preformatted Content-Length value
+
+	holder   atomic.Pointer[sensitivity.Versioned] // nil until first resolve
+	stamp    atomic.Pointer[epochStamp]
+	manifest atomic.Pointer[cachedBody]
+	weights  atomic.Pointer[cachedBody]
+}
+
 // Origin is the multi-tenant origin: catalog, versioned weight service,
-// session registry and HTTP handler.
+// lock-striped session registry and HTTP handler.
 type Origin struct {
 	cfg      Config
-	videos   map[string]*video.Video
+	videos   map[string]*catalogEntry
 	store    *WeightService
 	feedback *ingest.Plane   // nil when the closed loop is disabled
 	chaos    *chaos.Injector // nil when fault injection is disabled
 	mux      *http.ServeMux
 	handler  http.Handler // mux, possibly behind the chaos middleware
 
-	mu       sync.Mutex
-	sessions map[string]*session
+	shards [registryShards]sessionShard
+	active atomic.Int64 // registered sessions (the MaxSessions reservation)
 
 	sessionsCreated atomic.Int64
 	sessionsClosed  atomic.Int64
 	sessionsExpired atomic.Int64
-	bytesServed     atomic.Int64
-	segmentsServed  atomic.Int64
 	manifestsServed atomic.Int64
 	weightsServed   atomic.Int64
-	videoHits       sync.Map // video name -> *atomic.Int64 (segment hits)
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -168,7 +235,7 @@ func New(cfg Config) (*Origin, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
-	videos := make(map[string]*video.Video, len(cfg.Catalog))
+	videos := make(map[string]*catalogEntry, len(cfg.Catalog))
 	for _, v := range cfg.Catalog {
 		if v == nil || v.Name == "" {
 			return nil, fmt.Errorf("origin: catalog contains an unnamed video")
@@ -176,17 +243,23 @@ func New(cfg Config) (*Origin, error) {
 		if _, dup := videos[v.Name]; dup {
 			return nil, fmt.Errorf("origin: duplicate catalog video %q", v.Name)
 		}
-		videos[v.Name] = v
+		videos[v.Name] = newCatalogEntry(v)
 	}
 	if cfg.Ingest != nil && cfg.Profile == nil {
 		return nil, fmt.Errorf("origin: feedback ingest enabled without a profile function")
 	}
+	store := cfg.Weights
+	if store == nil {
+		store = NewWeightService(cfg.WeightDir, cfg.Profile, cfg.Logf)
+	}
 	o := &Origin{
-		cfg:      cfg,
-		videos:   videos,
-		store:    NewWeightService(cfg.WeightDir, cfg.Profile, cfg.Logf),
-		sessions: map[string]*session{},
-		done:     make(chan struct{}),
+		cfg:    cfg,
+		videos: videos,
+		store:  store,
+		done:   make(chan struct{}),
+	}
+	for i := range o.shards {
+		o.shards[i].sessions = map[string]*session{}
 	}
 	if cfg.Ingest != nil {
 		plane, err := ingest.New(*cfg.Ingest, refresherAdapter{o}, cfg.Logf)
@@ -224,6 +297,26 @@ func New(cfg Config) (*Origin, error) {
 	o.wg.Add(1)
 	go o.janitor(interval)
 	return o, nil
+}
+
+// newCatalogEntry preformats everything the segment hot path needs for one
+// video: payload sizes and Content-Length header values per (chunk, rung).
+func newCatalogEntry(v *video.Video) *catalogEntry {
+	ce := &catalogEntry{
+		v:      v,
+		sizes:  make([][]int, v.NumChunks()),
+		clHdrs: make([][][]string, v.NumChunks()),
+	}
+	for c := 0; c < v.NumChunks(); c++ {
+		ce.sizes[c] = make([]int, len(v.Ladder))
+		ce.clHdrs[c] = make([][]string, len(v.Ladder))
+		for rg := range v.Ladder {
+			size := int(v.ChunkSizeBits(c, rg) / 8)
+			ce.sizes[c][rg] = size
+			ce.clHdrs[c][rg] = []string{strconv.Itoa(size)}
+		}
+	}
+	return ce
 }
 
 // Close stops the janitor and the feedback autopilot. It does not interrupt
@@ -270,18 +363,18 @@ func (o *Origin) Weights() *WeightService { return o.store }
 
 // SessionsCreated reports the join counter — a lock-free read for callers
 // (like the fleet's refresh watcher) that poll it at high frequency and
-// must not contend with the registry mutex the way a full Stats() does.
+// must not contend with the registry the way a full Stats() does.
 func (o *Origin) SessionsCreated() int64 { return o.sessionsCreated.Load() }
 
 // PublishWeights installs weights as the named video's next profile epoch
 // — the in-process control-plane hook the fleet harness and embedding
 // servers use to push a refresh to every active session.
 func (o *Origin) PublishWeights(videoName string, weights []float64) (*sensitivity.Profile, error) {
-	v, ok := o.videos[videoName]
+	ce, ok := o.videos[videoName]
 	if !ok {
 		return nil, fmt.Errorf("origin: video %q not in catalog", videoName)
 	}
-	p, err := o.store.Publish(v, weights)
+	p, err := o.store.Publish(ce.v, weights)
 	if err != nil {
 		return nil, err
 	}
@@ -293,11 +386,11 @@ func (o *Origin) PublishWeights(videoName string, weights []float64) (*sensitivi
 // configured profile function and publishes the spliced result as the next
 // epoch.
 func (o *Origin) RefreshWeights(videoName string, lo, hi int) (*sensitivity.Profile, error) {
-	v, ok := o.videos[videoName]
+	ce, ok := o.videos[videoName]
 	if !ok {
 		return nil, fmt.Errorf("origin: video %q not in catalog", videoName)
 	}
-	p, err := o.store.RefreshWindow(v, lo, hi)
+	p, err := o.store.RefreshWindow(ce.v, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -342,15 +435,81 @@ func classifyChaos(r *http.Request) (chaos.Kind, string, bool) {
 	}
 	key := r.Header.Get(chaos.KeyHeader)
 	if key == "" {
-		key = r.URL.Query().Get("sid")
+		key = QueryParam(r.URL.RawQuery, "sid")
 	}
 	return kind, key, true
+}
+
+// queryParam extracts one query parameter without materializing a
+// url.Values map — r.URL.Query() allocates on every call, which the
+// zero-alloc segment path cannot afford. Unescaping is only attempted when
+// the raw value actually contains an escape, which session IDs (hex) never
+// do.
+func QueryParam(rawQuery, key string) string {
+	for rawQuery != "" {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != key {
+			continue
+		}
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u
+			}
+		}
+		return v
+	}
+	return ""
 }
 
 func (o *Origin) logf(format string, args ...any) {
 	if o.cfg.Logf != nil {
 		o.cfg.Logf(format, args...)
 	}
+}
+
+// --- live profile access ---
+
+// profileOf returns ce's current profile snapshot, resolving (and caching)
+// the video's live holder on first use. After the first call the read is
+// lock-free: one atomic holder load plus one atomic snapshot load.
+func (o *Origin) profileOf(ce *catalogEntry) (*sensitivity.Profile, error) {
+	h := ce.holder.Load()
+	if h == nil {
+		var err error
+		if h, err = o.store.HolderOf(ce.v); err != nil {
+			return nil, err
+		}
+		ce.holder.Store(h)
+	}
+	p, _ := h.Snapshot()
+	return p, nil
+}
+
+// epochHeader returns the preformatted X-Sensei-Weight-Epoch value for ce.
+// It never triggers profiling: a cold video advertises 0. Steady state is
+// three atomic loads and zero allocations; the stamp string is rebuilt
+// only when a refresh bumps the epoch.
+func (o *Origin) epochHeader(ce *catalogEntry) []string {
+	h := ce.holder.Load()
+	if h == nil {
+		if h = o.store.Holder(ce.v.Name); h == nil {
+			return zeroEpochHeader
+		}
+		ce.holder.Store(h)
+	}
+	_, epoch := h.Snapshot()
+	st := ce.stamp.Load()
+	if st == nil || st.epoch != epoch {
+		st = &epochStamp{epoch: epoch, header: []string{strconv.FormatUint(epoch, 10)}}
+		ce.stamp.Store(st)
+	}
+	return st.header
 }
 
 // --- control plane ---
@@ -380,7 +539,7 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "origin: bad join body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	v, ok := o.videos[req.Video]
+	ce, ok := o.videos[req.Video]
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", req.Video), http.StatusNotFound)
 		return
@@ -407,9 +566,13 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	id := r.Header.Get(SessionIDHeader)
+	if id == "" {
+		id = newSessionID()
+	}
 	s := &session{
-		id:        newSessionID(),
-		videoName: v.Name,
+		id:        id,
+		videoName: ce.v.Name,
 		traceName: traceName,
 		timeScale: scale,
 		shaper:    shaper,
@@ -420,11 +583,11 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "origin: session registry full", http.StatusServiceUnavailable)
 		return
 	}
-	o.logf("origin: session %s joined: video=%q trace=%q timescale=%g", s.id, v.Name, traceName, scale)
+	o.logf("origin: session %s joined: video=%q trace=%q timescale=%g", s.id, ce.v.Name, traceName, scale)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(JoinResponse{
 		SessionID: s.id,
-		Video:     v.Name,
+		Video:     ce.v.Name,
 		Trace:     traceName,
 		TimeScale: scale,
 	})
@@ -448,34 +611,44 @@ func (o *Origin) handleLeave(w http.ResponseWriter, r *http.Request) {
 // --- data plane ---
 
 func (o *Origin) handleManifest(w http.ResponseWriter, r *http.Request) {
-	v, ok := o.videos[r.PathValue("video")]
+	ce, ok := o.videos[r.PathValue("video")]
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", r.PathValue("video")), http.StatusNotFound)
 		return
 	}
-	if sid := r.URL.Query().Get("sid"); sid != "" {
+	if sid := QueryParam(r.URL.RawQuery, "sid"); sid != "" {
 		o.lookupSession(sid) // refresh the idle clock; manifests work without a session too
 	}
-	p, err := o.store.Get(v)
+	p, err := o.profileOf(ce)
 	if err != nil {
-		o.logf("origin: profiling %q: %v", v.Name, err)
+		o.logf("origin: profiling %q: %v", ce.v.Name, err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	mpd, err := dash.BuildMPDProfile(v, p.Weights, p.Epoch)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	body, err := mpd.Encode()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	mb := ce.manifest.Load()
+	if mb == nil || mb.epoch != p.Epoch {
+		mpd, err := dash.BuildMPDProfile(ce.v, p.Weights, p.Epoch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		body, err := mpd.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		mb = &cachedBody{
+			epoch:    p.Epoch,
+			epochHdr: []string{strconv.FormatUint(p.Epoch, 10)},
+			body:     body,
+		}
+		ce.manifest.Store(mb)
 	}
 	o.manifestsServed.Add(1)
-	w.Header().Set("Content-Type", "application/dash+xml")
-	w.Header().Set(WeightEpochHeader, strconv.FormatUint(p.Epoch, 10))
-	_, _ = w.Write(body)
+	h := w.Header()
+	h["Content-Type"] = hdrDashXML
+	h[WeightEpochHeader] = mb.epochHdr
+	_, _ = w.Write(mb.body)
 }
 
 // WeightsResponse is the GET /weights payload: the current epoch-stamped
@@ -490,9 +663,9 @@ type WeightsResponse struct {
 // by ?sid=. At join time the manifest already carries the same data; this
 // endpoint exists for the mid-stream refresh: a client that sees a newer
 // epoch on a segment response fetches the new vector here before its next
-// decision.
+// decision. The response body is serialized once per epoch and cached.
 func (o *Origin) handleWeights(w http.ResponseWriter, r *http.Request) {
-	sid := r.URL.Query().Get("sid")
+	sid := QueryParam(r.URL.RawQuery, "sid")
 	if sid == "" {
 		http.Error(w, "origin: weights request without sid (join via POST /session)", http.StatusBadRequest)
 		return
@@ -502,20 +675,35 @@ func (o *Origin) handleWeights(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", sid), http.StatusNotFound)
 		return
 	}
-	v, ok := o.videos[sess.videoName]
+	ce, ok := o.videos[sess.videoName]
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: session video %q gone from catalog", sess.videoName), http.StatusInternalServerError)
 		return
 	}
-	p, err := o.store.Get(v)
+	p, err := o.profileOf(ce)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	wb := ce.weights.Load()
+	if wb == nil || wb.epoch != p.Epoch {
+		body, err := json.Marshal(WeightsResponse{Video: p.VideoName, Epoch: p.Epoch, Weights: p.Weights})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		wb = &cachedBody{
+			epoch:    p.Epoch,
+			epochHdr: []string{strconv.FormatUint(p.Epoch, 10)},
+			body:     append(body, '\n'),
+		}
+		ce.weights.Store(wb)
+	}
 	o.weightsServed.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(WeightEpochHeader, strconv.FormatUint(p.Epoch, 10))
-	_ = json.NewEncoder(w).Encode(WeightsResponse{Video: p.VideoName, Epoch: p.Epoch, Weights: p.Weights})
+	h := w.Header()
+	h["Content-Type"] = hdrJSON
+	h[WeightEpochHeader] = wb.epochHdr
+	_, _ = w.Write(wb.body)
 }
 
 // RefreshRequest is the POST /refresh body: re-profile chunks [From, To)
@@ -587,21 +775,21 @@ func (o *Origin) handleRating(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", req.SessionID), http.StatusNotFound)
 		return
 	}
-	v, ok := o.videos[sess.videoName]
+	ce, ok := o.videos[sess.videoName]
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: session video %q gone from catalog", sess.videoName), http.StatusInternalServerError)
 		return
 	}
-	outcome, err := o.feedback.Ingest(v, req.Chunk, req.Epoch, req.Rating)
+	outcome, err := o.feedback.Ingest(ce.v, req.Chunk, req.Epoch, req.Rating)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cur := o.store.EpochOf(v.Name)
+	cur := o.store.EpochOf(ce.v.Name)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(WeightEpochHeader, strconv.FormatUint(cur, 10))
 	_ = json.NewEncoder(w).Encode(RatingResponse{
-		Video:  v.Name,
+		Video:  ce.v.Name,
 		Chunk:  req.Chunk,
 		Status: outcome.String(),
 		Epoch:  cur,
@@ -609,11 +797,10 @@ func (o *Origin) handleRating(w http.ResponseWriter, r *http.Request) {
 }
 
 // segmentPattern is the shared read-only payload source: handlers slice it
-// directly instead of allocating and re-filling a buffer per request (the
-// old server built a fresh 32 KiB buffer per segment). The quantum also
-// sets the shaping granularity — one Throttle sleep per written slice —
-// so a larger buffer means fewer timer wakeups per segment without
-// changing the total shaped duration.
+// directly instead of allocating and re-filling a buffer per request. The
+// quantum is purely a write granularity — shaping is one batched
+// Throttle+Sleep per segment, not per slice — so it only bounds how much
+// the kernel is handed per Write.
 var segmentPattern = func() []byte {
 	b := make([]byte, 256*1024)
 	for i := range b {
@@ -622,13 +809,18 @@ var segmentPattern = func() []byte {
 	return b
 }()
 
+// handleSegment is the zero-allocation steady-state hot path (pinned by
+// TestSegmentSteadyStateZeroAlloc): a striped-registry lookup, three
+// preformatted header assignments, one batched throttle sleep, per-stripe
+// atomic accounting and shared-pattern writes. Error and chaos paths may
+// allocate freely.
 func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
-	v, ok := o.videos[r.PathValue("video")]
+	ce, ok := o.videos[r.PathValue("video")]
 	if !ok {
 		http.Error(w, fmt.Sprintf("origin: video %q not in catalog", r.PathValue("video")), http.StatusNotFound)
 		return
 	}
-	sid := r.URL.Query().Get("sid")
+	sid := QueryParam(r.URL.RawQuery, "sid")
 	if sid == "" {
 		http.Error(w, "origin: segment request without sid (join via POST /session)", http.StatusBadRequest)
 		return
@@ -641,31 +833,30 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("origin: no session %q (expired?)", sid), http.StatusNotFound)
 		return
 	}
-	inflightHeld := true
-	release := func() {
-		if inflightHeld {
-			inflightHeld = false
+	held := true
+	defer func() {
+		if held {
 			sess.inflight.Add(-1)
 		}
-	}
-	defer release()
-	if sess.videoName != v.Name {
-		http.Error(w, fmt.Sprintf("origin: session %s is pinned to %q, not %q", sid, sess.videoName, v.Name), http.StatusConflict)
+	}()
+	if sess.videoName != ce.v.Name {
+		http.Error(w, fmt.Sprintf("origin: session %s is pinned to %q, not %q", sid, sess.videoName, ce.v.Name), http.StatusConflict)
 		return
 	}
 	chunk, err1 := strconv.Atoi(r.PathValue("chunk"))
 	rung, err2 := strconv.Atoi(r.PathValue("rung"))
-	if err1 != nil || err2 != nil || chunk < 0 || chunk >= v.NumChunks() || rung < 0 || rung >= len(v.Ladder) {
+	if err1 != nil || err2 != nil || chunk < 0 || chunk >= len(ce.sizes) || rung < 0 || rung >= len(ce.v.Ladder) {
 		http.Error(w, "origin: segment out of range", http.StatusNotFound)
 		return
 	}
-	size := int(v.ChunkSizeBits(chunk, rung) / 8)
-	w.Header().Set("Content-Type", "video/mp4")
-	w.Header().Set("Content-Length", strconv.Itoa(size))
+	size := ce.sizes[chunk][rung]
+	h := w.Header()
+	h["Content-Type"] = hdrVideoMP4
+	h["Content-Length"] = ce.clHdrs[chunk][rung]
 	// Staleness beacon: the video's current profile epoch rides on every
-	// segment so clients detect a refresh without polling. EpochOf is a
-	// lock-peek, never a campaign — a cold video simply advertises 0.
-	w.Header().Set(WeightEpochHeader, strconv.FormatUint(o.store.EpochOf(v.Name), 10))
+	// segment so clients detect a refresh without polling. The stamp is a
+	// lock-free peek, never a campaign — a cold video simply advertises 0.
+	h[WeightEpochHeader] = o.epochHeader(ce)
 
 	// Injected truncation (the chaos middleware planted a plan in the
 	// request context): declare the full Content-Length above but deliver
@@ -686,40 +877,52 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(chaos.InjectedHeader, string(chaos.ModeTruncate))
 	}
 
-	// Stream slices of the shared pattern, sleeping per the session's
-	// shaper so this client observes its own trace's bandwidth. All
-	// accounting happens before the corresponding Write: Content-Length
-	// is set, so the moment the last slice hits the socket the client may
+	// Headers go out before the shaped sleep, so the client observes the
+	// stream as in flight (and DELETE gets its 409) for the whole shaped
+	// duration — the same externally visible window as when the sleep was
+	// spread across slices.
+	w.WriteHeader(http.StatusOK)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	// One batched throttle for the whole delivery: Throttle returns the
+	// incremental virtual duration of these bytes, so one call for the
+	// whole body is arithmetically identical to one per slice — the total
+	// shaped duration is unchanged — but the stream pays one timer wakeup
+	// per segment instead of one per 256 KiB. Clients tolerate the
+	// front-loaded sleep: their request timeout bounds the whole transfer,
+	// not time-to-first-byte.
+	if !par.Sleep(r.Context(), sess.shaper.Throttle(deliver)) {
+		return // client went away mid-throttle
+	}
+	// Accounting happens before the corresponding Write: Content-Length is
+	// set, so the moment the last slice hits the socket the client may
 	// observe the transfer complete and read /stats — counters updated
-	// after the Write would race with that read.
-	ctx := r.Context()
+	// after that Write would race with the read.
+	sess.touch(time.Now())
+	sess.bytes.Add(int64(deliver))
+	sess.shard.bytes.Add(int64(deliver))
 	remaining := deliver
 	for remaining > 0 {
 		n := len(segmentPattern)
 		if remaining < n {
 			n = remaining
 		}
-		if !par.Sleep(ctx, sess.shaper.Throttle(n)) {
-			return // client went away mid-throttle
-		}
-		// A long shaped transfer is activity: keep the janitor away.
-		sess.touch(time.Now())
-		sess.bytes.Add(int64(n))
-		o.bytesServed.Add(int64(n))
-		remaining -= n
-		if remaining == 0 && !truncated {
+		if remaining == n && !truncated {
 			sess.segments.Add(1)
-			o.segmentsServed.Add(1)
-			o.videoHit(v.Name)
-			// The moment the final slice hits the socket the client may
+			sess.shard.segments.Add(1)
+			ce.hits.Add(1)
+			// The moment this final slice hits the socket the client may
 			// observe the transfer complete and immediately DELETE the
 			// session; the in-flight mark must already be gone by then or
 			// a clean hang-up races into a spurious 409.
-			release()
+			held = false
+			sess.inflight.Add(-1)
 		}
 		if _, err := w.Write(segmentPattern[:n]); err != nil {
 			return // client went away
 		}
+		remaining -= n
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
@@ -730,14 +933,6 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 		// length. The deferred release clears the in-flight mark.
 		panic(http.ErrAbortHandler)
 	}
-}
-
-func (o *Origin) videoHit(name string) {
-	c, ok := o.videoHits.Load(name)
-	if !ok {
-		c, _ = o.videoHits.LoadOrStore(name, new(atomic.Int64))
-	}
-	c.(*atomic.Int64).Add(1)
 }
 
 // --- stats ---
@@ -778,33 +973,39 @@ type Stats struct {
 	Sessions []SessionStats `json:"sessions,omitempty"`
 }
 
-// Stats snapshots the origin's counters.
+// Stats snapshots the origin's counters, folding the per-stripe registry
+// and byte/segment ledgers the hot path writes.
 func (o *Origin) Stats() Stats {
 	now := time.Now()
-	o.mu.Lock()
-	sessions := make([]SessionStats, 0, len(o.sessions))
-	for _, s := range o.sessions {
-		sessions = append(sessions, SessionStats{
-			ID:        s.id,
-			Video:     s.videoName,
-			Trace:     s.traceName,
-			TimeScale: s.timeScale,
-			Bytes:     s.bytes.Load(),
-			Segments:  s.segments.Load(),
-			IdleSec:   s.idleSince(now).Seconds(),
-			UptimeSec: now.Sub(s.created).Seconds(),
-		})
+	sessions := make([]SessionStats, 0, o.active.Load())
+	var bytesServed, segmentsServed int64
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			sessions = append(sessions, SessionStats{
+				ID:        s.id,
+				Video:     s.videoName,
+				Trace:     s.traceName,
+				TimeScale: s.timeScale,
+				Bytes:     s.bytes.Load(),
+				Segments:  s.segments.Load(),
+				IdleSec:   s.idleSince(now).Seconds(),
+				UptimeSec: now.Sub(s.created).Seconds(),
+			})
+		}
+		sh.mu.RUnlock()
+		bytesServed += sh.bytes.Load()
+		segmentsServed += sh.segments.Load()
 	}
-	o.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
 
-	hits := map[string]int64{}
-	o.videoHits.Range(func(k, v any) bool {
-		hits[k.(string)] = v.(*atomic.Int64).Load()
-		return true
-	})
+	hits := make(map[string]int64, len(o.videos))
 	epochs := map[string]uint64{}
-	for name := range o.videos {
+	for name, ce := range o.videos {
+		if n := ce.hits.Load(); n > 0 {
+			hits[name] = n
+		}
 		if e := o.store.EpochOf(name); e > 0 {
 			epochs[name] = e
 		}
@@ -826,8 +1027,8 @@ func (o *Origin) Stats() Stats {
 		SessionsCreated:   o.sessionsCreated.Load(),
 		SessionsClosed:    o.sessionsClosed.Load(),
 		SessionsExpired:   o.sessionsExpired.Load(),
-		BytesServed:       o.bytesServed.Load(),
-		SegmentsServed:    o.segmentsServed.Load(),
+		BytesServed:       bytesServed,
+		SegmentsServed:    segmentsServed,
 		ManifestsServed:   o.manifestsServed.Load(),
 		WeightsServed:     o.weightsServed.Load(),
 		ProfilesComputed:  o.store.ProfileCalls(),

@@ -3,11 +3,34 @@ package origin
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sensei/internal/dash"
 )
+
+// registryShards is the lock-striping width of the session registry.
+// Sessions stripe across shards by FNV-1a of their ID (the same pattern
+// internal/ingest uses for videos), so the per-segment session resolve
+// contends only with the handful of sessions sharing one stripe instead of
+// every session in the process. 32 stripes keeps the worst case tiny even
+// at the 4096-session default cap.
+const registryShards = 32
+
+// sessionShard is one lock stripe of the registry plus its slice of the
+// origin-wide byte/segment ledgers. The hot path adds to its own shard's
+// counters (one uncontended cache line per stripe instead of one global
+// line every core fights over); Stats folds the stripes. The trailing pad
+// keeps neighbouring shards' counters from sharing a cache line.
+type sessionShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+
+	bytes    atomic.Int64
+	segments atomic.Int64
+	_        [64]byte
+}
 
 // session is one client's streaming context: its own trace-replaying
 // shaper (the per-session bottleneck), the video it is pinned to, and the
@@ -20,6 +43,7 @@ type session struct {
 	traceName string
 	timeScale float64
 	shaper    *dash.Shaper
+	shard     *sessionShard // the registry stripe holding this session
 
 	created  time.Time
 	lastSeen atomic.Int64 // unix nanoseconds
@@ -50,24 +74,48 @@ func (s *session) idleSince(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, s.lastSeen.Load()))
 }
 
+// shardFor stripes session IDs across registry shards (inline FNV-1a: the
+// hot path must not allocate a hasher).
+func (o *Origin) shardFor(id string) *sessionShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &o.shards[h%registryShards]
+}
+
 // addSession registers a new session; it fails when the origin is at its
-// session cap.
+// session cap (or, vanishingly, on a session-ID collision). The cap is an
+// atomic reservation, not a registry-wide lock: reserve a slot, roll back
+// if over.
 func (o *Origin) addSession(s *session) bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if len(o.sessions) >= o.cfg.MaxSessions {
+	if o.active.Add(1) > int64(o.cfg.MaxSessions) {
+		o.active.Add(-1)
 		return false
 	}
-	o.sessions[s.id] = s
+	sh := o.shardFor(s.id)
+	s.shard = sh
+	sh.mu.Lock()
+	if _, dup := sh.sessions[s.id]; dup {
+		sh.mu.Unlock()
+		o.active.Add(-1)
+		return false
+	}
+	sh.sessions[s.id] = s
+	sh.mu.Unlock()
 	o.sessionsCreated.Add(1)
 	return true
 }
 
-// lookupSession resolves a session ID, refreshing its idle clock.
+// lookupSession resolves a session ID, refreshing its idle clock. Readers
+// share the stripe's RLock, so concurrent lookups never serialize on each
+// other.
 func (o *Origin) lookupSession(id string) (*session, bool) {
-	o.mu.Lock()
-	s, ok := o.sessions[id]
-	o.mu.Unlock()
+	sh := o.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
 	if ok {
 		s.touch(time.Now())
 	}
@@ -75,16 +123,21 @@ func (o *Origin) lookupSession(id string) (*session, bool) {
 }
 
 // lookupSessionStream resolves a session and marks a stream in flight while
-// still holding the registry lock, so a concurrent DELETE (or the janitor)
-// can never observe inflight==0 between the lookup and the increment. The
-// caller must decrement s.inflight when the stream drains.
+// still holding the stripe's read lock, so a concurrent DELETE (or the
+// janitor) — which takes the stripe's write lock and checks inflight under
+// it — can never observe inflight==0 between the lookup and the increment.
+// Readers only share-lock the stripe: the per-segment hot path never
+// serializes sessions against each other, and last-active stays a plain
+// atomic store. The caller must decrement s.inflight when the stream
+// drains.
 func (o *Origin) lookupSessionStream(id string) (*session, bool) {
-	o.mu.Lock()
-	s, ok := o.sessions[id]
+	sh := o.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
 	if ok {
 		s.inflight.Add(1)
 	}
-	o.mu.Unlock()
+	sh.mu.RUnlock()
 	if ok {
 		s.touch(time.Now())
 	}
@@ -106,39 +159,46 @@ const (
 // stream always land on a registered session and /stats stays consistent
 // with bytes_served.
 func (o *Origin) removeSession(id string) removeOutcome {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	s, ok := o.sessions[id]
+	sh := o.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return removeMissing
 	}
 	if s.inflight.Load() > 0 {
 		return removeBusy
 	}
-	delete(o.sessions, id)
+	delete(sh.sessions, id)
+	o.active.Add(-1)
 	o.sessionsClosed.Add(1)
 	return removeDone
 }
 
 // expireIdle removes sessions idle longer than the configured timeout and
-// returns how many were reaped. The janitor calls it periodically; tests
-// call it directly.
+// returns how many were reaped, one stripe at a time so the janitor never
+// stalls the whole registry. The janitor calls it periodically; tests call
+// it directly.
 func (o *Origin) expireIdle(now time.Time) int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	var reaped int
-	for id, s := range o.sessions {
-		// A session with a stream in flight is never idle, however long a
-		// single throttle sleep lasts (a deep-fade trace at timescale 1
-		// can hold one slice for minutes).
-		if s.inflight.Load() > 0 {
-			continue
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			// A session with a stream in flight is never idle, however long a
+			// single throttle sleep lasts (a deep-fade trace at timescale 1
+			// can hold one slice for minutes).
+			if s.inflight.Load() > 0 {
+				continue
+			}
+			if s.idleSince(now) > o.cfg.SessionIdleTimeout {
+				delete(sh.sessions, id)
+				o.active.Add(-1)
+				o.sessionsExpired.Add(1)
+				reaped++
+			}
 		}
-		if s.idleSince(now) > o.cfg.SessionIdleTimeout {
-			delete(o.sessions, id)
-			o.sessionsExpired.Add(1)
-			reaped++
-		}
+		sh.mu.Unlock()
 	}
 	return reaped
 }

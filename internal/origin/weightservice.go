@@ -109,25 +109,51 @@ func (s *WeightService) Source(v *video.Video) (sensitivity.Source, error) {
 	return e.holder, nil
 }
 
-// EpochOf peeks at a video's current epoch without triggering profiling:
-// 0 when the video is unresolved or unprofiled. The segment hot path uses
-// it to stamp X-Sensei-Weight-Epoch without ever paying a campaign.
-func (s *WeightService) EpochOf(videoName string) uint64 {
+// Holder peeks at a video's live profile holder without triggering
+// profiling: nil when the video is unresolved, still resolving, or failed.
+// The origin caches a successful peek per catalog video, after which epoch
+// stamping is entirely lock-free (a resolved holder is never replaced —
+// refreshes publish into it).
+func (s *WeightService) Holder(videoName string) *sensitivity.Versioned {
 	s.mu.Lock()
 	e, ok := s.entries[videoName]
 	s.mu.Unlock()
 	if !ok {
-		return 0
+		return nil
 	}
 	select {
 	case <-e.done:
 	default:
-		return 0 // still resolving
+		return nil // still resolving
 	}
-	if e.err != nil || e.holder == nil {
+	if e.err != nil {
+		return nil
+	}
+	return e.holder
+}
+
+// HolderOf returns v's live profile holder, resolving (profiling or
+// disk-loading) the video first if it is cold. Unlike Holder it may block
+// on a campaign; unlike Get it hands back the holder itself so callers can
+// snapshot it lock-free forever after.
+func (s *WeightService) HolderOf(v *video.Video) (*sensitivity.Versioned, error) {
+	e, err := s.entry(v)
+	if err != nil {
+		return nil, err
+	}
+	return e.holder, nil
+}
+
+// EpochOf peeks at a video's current epoch without triggering profiling:
+// 0 when the video is unresolved or unprofiled. Control-plane callers use
+// it to stamp X-Sensei-Weight-Epoch without ever paying a campaign (the
+// segment path goes further and caches the Holder).
+func (s *WeightService) EpochOf(videoName string) uint64 {
+	h := s.Holder(videoName)
+	if h == nil {
 		return 0
 	}
-	_, epoch := e.holder.Snapshot()
+	_, epoch := h.Snapshot()
 	return epoch
 }
 

@@ -1,0 +1,34 @@
+package router
+
+import (
+	"sensei/internal/origin"
+)
+
+// NewSegmentBenchHarness starts a router fronting shards origin shards and
+// joins sessions against it — the sharded arm of the parallel segment
+// throughput comparison (origin.NewParallelSegmentBenchHarness is the
+// single-origin arm). Sessions spread across shards by the consistent
+// hash, so the measurement covers the real routing path: sid hash, shard
+// dispatch, striped registry, zero-alloc serving.
+func NewSegmentBenchHarness(shards, sessions int) (*origin.SegmentBenchClient, error) {
+	cfg, err := origin.BenchConfig()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := New(Config{Shards: shards, Origin: cfg})
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(rt)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	c, err := origin.NewSegmentBenchClient("http://"+addr, cfg.Catalog[0], sessions, srv.Close)
+	if err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	return c, nil
+}

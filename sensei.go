@@ -58,6 +58,7 @@ import (
 	"sensei/internal/par"
 	"sensei/internal/player"
 	"sensei/internal/qoe"
+	"sensei/internal/router"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/video"
@@ -301,6 +302,35 @@ func NewDASHOrigin(cfg DASHOriginConfig) (*DASHOrigin, error) { return origin.Ne
 // NewDASHServer binds o to a listener; Start it, then Shutdown(ctx) to
 // drain in-flight segment streams.
 func NewDASHServer(o *DASHOrigin) *DASHServer { return origin.NewServer(o) }
+
+// Multi-origin scale-out: a consistent-hash router fronts N origin shards
+// behind one listener without changing the client protocol. Sessions are
+// sticky (the router mints the session ID and hashes it to its shard), the
+// sensitivity plane is shared (one DASHWeightService across all shards, so
+// a refresh bumps every shard's epoch at once), and GET /stats merges the
+// per-shard ledgers exactly. See cmd/dashserver's -shards flag.
+type (
+	// DASHRouter fronts N origin shards with sticky consistent-hash
+	// sessions and a shared weight plane.
+	DASHRouter = router.Router
+	// DASHRouterConfig assembles a DASHRouter: shard count plus the
+	// per-shard origin template.
+	DASHRouterConfig = router.Config
+	// DASHRouterServer binds a DASHRouter to a TCP listener with graceful,
+	// connection-draining shutdown.
+	DASHRouterServer = router.Server
+	// DASHRouterStats is the router's /stats payload: the merged DASHStats
+	// plus the per-shard ledgers behind the merge.
+	DASHRouterStats = router.Stats
+)
+
+// NewDASHRouter builds a router fronting cfg.Shards origin shards. Close it
+// when done (NewDASHRouterServer ties it to the server's shutdown).
+func NewDASHRouter(cfg DASHRouterConfig) (*DASHRouter, error) { return router.New(cfg) }
+
+// NewDASHRouterServer binds rt to a listener; Start it, then Shutdown(ctx)
+// to drain in-flight segment streams across every shard.
+func NewDASHRouterServer(rt *DASHRouter) *DASHRouterServer { return router.NewServer(rt) }
 
 // NewDASHShaper starts a shaper replaying tr; timeScale < 1 compresses
 // wall-clock time (0.01 runs sessions 100x faster than real time).
