@@ -12,8 +12,8 @@
 //
 // With -benchjson, per-experiment wall-clock and the subsystem
 // micro-benchmarks (planner tree search vs brute-force oracle, origin
-// segment path, fleet throughput, weight-refresh latencies, ingest
-// ratings/sec) are written as JSON, giving CI a perf trajectory across PRs
+// segment path, fleet throughput on the wall and virtual clocks,
+// weight-refresh latencies, ingest ratings/sec) are written as JSON, giving CI a perf trajectory across PRs
 // (BENCH_baseline.json holds the committed baseline).
 //
 // With -check the same micro-benchmarks run and are compared against the
@@ -44,6 +44,7 @@ import (
 	"sensei/internal/player"
 	"sensei/internal/router"
 	"sensei/internal/trace"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
 
@@ -355,6 +356,13 @@ type fleetBench struct {
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	SegmentsPerSec float64 `json:"segments_per_sec"`
 	Reconciled     bool    `json:"reconciled"`
+	// VclockSessionsPerSec runs the same-sized fleet on the discrete-event
+	// virtual clock, paced at timescale 1 over a realistic trace — a
+	// workload the wall clock would have to serve in real stream time —
+	// and reports sessions completed per wall second. VclockSpeedup is
+	// simulated seconds per wall second for that run.
+	VclockSessionsPerSec float64 `json:"vclock_sessions_per_sec"`
+	VclockSpeedup        float64 `json:"vclock_speedup"`
 }
 
 // fleetMicroBench runs the fleet harness once and reports its throughput.
@@ -383,11 +391,30 @@ func fleetMicroBench() (fleetBench, error) {
 	if report.Failed > 0 || !report.Reconciliation.Ok {
 		return fleetBench{}, fmt.Errorf("fleet bench did not reconcile:\n%s", report.Render())
 	}
+	// The virtual-clock arm: real-time pacing (timescale 1) on a flat
+	// 32 Mbps trace, which the wall clock would serve in stream time; on
+	// the virtual clock the run is CPU-bound, so sessions/sec measures the
+	// discrete-event engine, not the trace.
+	vreport, err := fleet.Run(context.Background(), fleet.Config{
+		Sessions:   16,
+		Videos:     catalog,
+		Traces:     map[string]*trace.Trace{"flat": {Name: "flat", BitsPerSecond: []float64{3.2e7}}},
+		TimeScales: []float64{1},
+		Clock:      vclock.NewVirtual(),
+	})
+	if err != nil {
+		return fleetBench{}, err
+	}
+	if vreport.Failed > 0 || !vreport.Reconciliation.Ok {
+		return fleetBench{}, fmt.Errorf("vclock fleet bench did not reconcile:\n%s", vreport.Render())
+	}
 	return fleetBench{
-		Sessions:       report.Sessions,
-		SessionsPerSec: report.SessionsPerSec,
-		SegmentsPerSec: float64(report.SegmentsDownloaded) / report.ElapsedSec,
-		Reconciled:     report.Reconciliation.Ok,
+		Sessions:             report.Sessions,
+		SessionsPerSec:       report.SessionsPerSec,
+		SegmentsPerSec:       float64(report.SegmentsDownloaded) / report.ElapsedSec,
+		Reconciled:           report.Reconciliation.Ok,
+		VclockSessionsPerSec: vreport.SessionsPerSec,
+		VclockSpeedup:        vreport.Speedup,
 	}, nil
 }
 
@@ -416,6 +443,7 @@ func checkAgainstBaseline(cur, base benchReport, tol float64) []string {
 	higher("origin chaos-idle segments/s", cur.Origin.ChaosIdleSegmentsPerSec, base.Origin.ChaosIdleSegmentsPerSec)
 	higher("router segments/s", cur.Router.SegmentsPerSec, base.Router.SegmentsPerSec)
 	higher("fleet sessions/s", cur.Fleet.SessionsPerSec, base.Fleet.SessionsPerSec)
+	higher("fleet vclock sessions/s", cur.Fleet.VclockSessionsPerSec, base.Fleet.VclockSessionsPerSec)
 	higher("ingest ratings/s", cur.Ingest.RatingsPerSec, base.Ingest.RatingsPerSec)
 	lower("refresh publish ns/op", cur.Refresh.PublishNsPerOp, base.Refresh.PublishNsPerOp)
 	lower("refresh snapshot ns/op", cur.Refresh.SnapshotNsPerOp, base.Refresh.SnapshotNsPerOp)
@@ -539,11 +567,11 @@ func main() {
 			os.Exit(1)
 		}
 		report.Ingest = ib
-		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s serial / %.0f parallel (chaos-idle %.0f, %+.1f%%), router×%d %.0f seg/s, fleet %.0f sess/s, refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
+		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s serial / %.0f parallel (chaos-idle %.0f, %+.1f%%), router×%d %.0f seg/s, fleet %.0f sess/s (vclock %.0f, %.0fx real time), refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
 			report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Origin.SegmentsPerSecParallel,
 			report.Origin.ChaosIdleSegmentsPerSec, report.Origin.ChaosIdleOverheadPct,
 			report.Router.Shards, report.Router.SegmentsPerSec,
-			report.Fleet.SessionsPerSec,
+			report.Fleet.SessionsPerSec, report.Fleet.VclockSessionsPerSec, report.Fleet.VclockSpeedup,
 			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.Ingest.RatingsPerSec, report.TotalSec)
 	}
 	if *benchJSON != "" {

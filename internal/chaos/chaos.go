@@ -30,7 +30,7 @@ import (
 	"sync"
 	"time"
 
-	"sensei/internal/par"
+	"sensei/internal/vclock"
 )
 
 // Kind names an endpoint class of the origin's API surface.
@@ -299,6 +299,7 @@ type streamState struct {
 // sequence state, the fault ledger, and the replay journal.
 type Injector struct {
 	policy Policy
+	clock  vclock.Clock
 
 	mu      sync.Mutex
 	streams map[streamKey]*streamState
@@ -309,17 +310,32 @@ type Injector struct {
 	journal []Event
 }
 
-// NewInjector validates p and returns an injector for it.
+// NewInjector validates p and returns an injector for it, stalling on the
+// wall clock. Hosts running under a simulated clock inject it with
+// SetClock before serving.
 func NewInjector(p Policy) (*Injector, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &Injector{
 		policy:  p,
+		clock:   vclock.NewReal(),
 		streams: make(map[streamKey]*streamState),
 		byKind:  make(map[string]int64),
 		byMode:  make(map[string]int64),
 	}, nil
+}
+
+// SetClock rebinds the clock ModeStall faults sleep on, so stalls consume
+// simulated time under a virtual clock — fault decisions themselves are a
+// pure hash of the seed and never read the clock, which is what keeps
+// Policy.Replay journals byte-identical between real and virtual runs.
+// Call before serving; the clock is not synchronized against in-flight
+// requests.
+func (in *Injector) SetClock(c vclock.Clock) {
+	if c != nil {
+		in.clock = c
+	}
 }
 
 // Policy returns the injector's (validated) policy.
@@ -417,8 +433,11 @@ func (in *Injector) Middleware(next http.Handler, classify func(*http.Request) (
 			// Dead air, then hang up. The client-side request context bounds
 			// the wait, and either ending (our abort or the client's
 			// timeout) is one client-visible fault — exactly one, which the
-			// two-sided ledger equality depends on.
-			par.Sleep(r.Context(), in.policy.stallDelay())
+			// two-sided ledger equality depends on. The stall sleeps on the
+			// injected clock: under a virtual clock the delay is simulated
+			// time charged to the waiting client's activity unit, so the
+			// fault schedule and its cost replay identically in both modes.
+			in.clock.Sleep(r.Context(), in.policy.stallDelay())
 			panic(http.ErrAbortHandler)
 		case ModeTruncate:
 			r = r.WithContext(WithTruncation(r.Context(), in.policy.truncateFraction()))

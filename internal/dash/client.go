@@ -18,8 +18,15 @@ import (
 	"sensei/internal/player"
 	"sensei/internal/qoe"
 	"sensei/internal/sensitivity"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
+
+// defaultClock is the wall clock shared by every Client without an
+// explicit Clock. One shared instance (rather than one per call) keeps
+// Now() readings from different call sites on one epoch, so durations
+// computed as differences stay coherent.
+var defaultClock = vclock.NewReal()
 
 // WeightEpochHeader is the origin response header advertising the current
 // sensitivity-profile epoch of the video being served. It rides on
@@ -125,6 +132,15 @@ type Client struct {
 	// decision ran under. mos.Population's SessionRater is the standard
 	// implementation. Requires an origin with feedback ingest enabled.
 	Rater Rater
+	// Clock is the timing plane the client sleeps and measures on: the
+	// buffer-full wait, retry backoff pauses, and segment download timing
+	// all go through it. Nil selects the shared wall clock — the historical
+	// behavior. Under a virtual clock the caller must run the client inside
+	// a registered activity unit (vclock.Clock.Enter/Exit); download
+	// measurements then come out exact, because no simulated time passes
+	// between issuing a request and the origin computing its shaped
+	// delivery.
+	Clock vclock.Clock
 
 	sid          string
 	videoName    string
@@ -295,7 +311,7 @@ func (c *Client) Join(ctx context.Context, videoName string) error {
 			return fmt.Errorf("dash: joining session: retry budget exhausted after %d attempts: %w", attempt+1, err)
 		}
 		c.res.Retries++
-		if !c.Retry.Sleep(ctx, attempt) {
+		if !c.backoff(ctx, attempt) {
 			return fmt.Errorf("dash: joining session: %w", ctx.Err())
 		}
 	}
@@ -375,7 +391,7 @@ func (c *Client) Leave(ctx context.Context) error {
 			return nil
 		}
 		c.res.Retries++
-		if !c.Retry.Sleep(ctx, attempt) {
+		if !c.backoff(ctx, attempt) {
 			return fmt.Errorf("dash: leaving session: %w", ctx.Err())
 		}
 	}
@@ -436,7 +452,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		maxStall = DefaultMaxPreStallSec
 	}
 
-	mf, err := c.fetch(ctx, c.videoPath(v.Name, "manifest.mpd"), chaos.KindManifest, -1)
+	mf, err := c.fetch(ctx, c.videoPath(v.Name, "manifest.mpd"), chaos.KindManifest, -1, false)
 	if err != nil {
 		return nil, fmt.Errorf("dash: fetching manifest: %w", err)
 	}
@@ -571,14 +587,14 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		// wait is seconds of wall clock).
 		if buffer+chunkDur > maxBuf {
 			wait := buffer + chunkDur - maxBuf
-			if !par.Sleep(ctx, time.Duration(wait*scale*float64(time.Second))) {
+			if !c.clk().Sleep(ctx, time.Duration(wait*scale*float64(time.Second))) {
 				return nil, fmt.Errorf("dash: stream canceled during buffer wait at chunk %d: %w", i, ctx.Err())
 			}
 			buffer -= wait
 		}
 
 		f, err := c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)),
-			chaos.KindSegment, int64(v.ChunkSizeBits(i, d.Rung)/8))
+			chaos.KindSegment, int64(v.ChunkSizeBits(i, d.Rung)/8), true)
 		if err != nil && errors.Is(err, errWire) && d.Rung != 0 {
 			// Degradation ladder: before declaring the stream dead,
 			// re-decide at the lowest rung with a fresh budget — the
@@ -587,12 +603,11 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			c.res.SegmentFallbacks++
 			d.Rung = 0
 			f, err = c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, 0)),
-				chaos.KindSegment, int64(v.ChunkSizeBits(i, 0)/8))
+				chaos.KindSegment, int64(v.ChunkSizeBits(i, 0)/8), true)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dash: segment %d: %w", i, err)
 		}
-		body := f.body
 		if f.epoch > observed {
 			observed = f.epoch
 		}
@@ -613,7 +628,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		if totalVirtual < elapsedVirtual {
 			totalVirtual = elapsedVirtual
 		}
-		sess.BytesDownloaded += int64(len(body)) + f.partialBytes
+		sess.BytesDownloaded += f.bytes + f.partialBytes
 		sess.DownloadVirtualSec += elapsedVirtual + f.partialSec/scale
 
 		if i > 0 {
@@ -630,7 +645,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 
 		sess.Rendering.Rungs[i] = d.Rung
 		lastRung = d.Rung
-		measured := float64(len(body)*8) / elapsedVirtual
+		measured := float64(f.bytes*8) / elapsedVirtual
 		sess.ThroughputBps = append(sess.ThroughputBps, measured)
 		thr = append(thr, measured)
 		if len(thr) > 8 {
@@ -694,7 +709,7 @@ type weightsResponse struct {
 // allowed anywhere near an ABR objective. Wire failures carry errWire (the
 // caller may degrade to its last snapshot); validation failures never do.
 func (c *Client) fetchWeights(ctx context.Context, v *video.Video) (*sensitivity.Profile, error) {
-	f, err := c.fetch(ctx, "/weights?sid="+url.QueryEscape(c.sid), chaos.KindWeights, -1)
+	f, err := c.fetch(ctx, "/weights?sid="+url.QueryEscape(c.sid), chaos.KindWeights, -1, false)
 	if err != nil {
 		return nil, err
 	}
@@ -766,7 +781,7 @@ func (c *Client) postRating(ctx context.Context, chunk int, epoch uint64, rating
 			return false, 0, fmt.Errorf("dash: posting rating: retry budget exhausted after %d attempts: %w: %w", attempt+1, errWire, err)
 		}
 		c.res.Retries++
-		if !c.Retry.Sleep(ctx, attempt) {
+		if !c.backoff(ctx, attempt) {
 			return false, 0, fmt.Errorf("dash: posting rating: %w", ctx.Err())
 		}
 	}
@@ -839,6 +854,20 @@ func (c *Client) httpc() *http.Client {
 	return http.DefaultClient
 }
 
+// clk resolves the client's timing plane.
+func (c *Client) clk() vclock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return defaultClock
+}
+
+// backoff sleeps out the retry schedule's attempt-th pause on the client's
+// clock; false means ctx fired first.
+func (c *Client) backoff(ctx context.Context, attempt int) bool {
+	return c.clk().Sleep(ctx, c.Retry.Delay(attempt))
+}
+
 // markChaosKey stamps the request with the client's chaos stream key.
 func (c *Client) markChaosKey(req *http.Request) {
 	if c.ChaosKey != "" {
@@ -865,7 +894,11 @@ func (c *Client) requestContext(ctx context.Context) (context.Context, context.C
 // fetched is one retried GET's outcome: the successful body and its timing,
 // plus the partial payloads truncated attempts delivered along the way.
 type fetched struct {
+	// body holds the payload for control-plane fetches; segment fetches
+	// discard the stream as it arrives and report only bytes, so a
+	// 10k-session fleet doesn't buffer terabytes of video it never parses.
 	body  []byte
+	bytes int64
 	epoch uint64
 	// sec is the wall-clock duration of the successful attempt only — the
 	// throughput history must measure the link, not the retry schedule.
@@ -887,34 +920,37 @@ type fetched struct {
 // (or with the caller's expected size, when expected >= 0) is a truncation
 // fault — retried, with the partial payload ledgered. Budget exhaustion
 // returns an errWire-marked error; degradation is the caller's choice.
-func (c *Client) fetch(ctx context.Context, path string, kind chaos.Kind, expected int64) (*fetched, error) {
+// With discard set the body is streamed to a counting sink instead of
+// buffered, and only fetched.bytes is populated.
+func (c *Client) fetch(ctx context.Context, path string, kind chaos.Kind, expected int64, discard bool) (*fetched, error) {
 	f := &fetched{}
+	clock := c.clk()
 	for attempt := 0; ; attempt++ {
-		start := time.Now()
-		body, epoch, clen, transient, err := c.getOnce(ctx, path)
-		sec := time.Since(start).Seconds()
+		start := clock.Now()
+		body, n, epoch, clen, transient, err := c.getOnce(ctx, path, discard)
+		sec := (clock.Now() - start).Seconds()
 		f.totalSec += sec
 		if err == nil {
 			switch {
-			case clen >= 0 && int64(len(body)) != clen:
-				err = fmt.Errorf("dash: GET %s: body is %d bytes, Content-Length says %d", path, len(body), clen)
-			case expected >= 0 && int64(len(body)) != expected:
-				err = fmt.Errorf("dash: GET %s: body is %d bytes, expected %d", path, len(body), expected)
+			case clen >= 0 && n != clen:
+				err = fmt.Errorf("dash: GET %s: body is %d bytes, Content-Length says %d", path, n, clen)
+			case expected >= 0 && n != expected:
+				err = fmt.Errorf("dash: GET %s: body is %d bytes, expected %d", path, n, expected)
 			default:
-				f.body, f.epoch, f.sec = body, epoch, sec
+				f.body, f.bytes, f.epoch, f.sec = body, n, epoch, sec
 				return f, nil
 			}
 			// A complete-looking reply of the wrong length is a truncation:
 			// ledger the bytes that did arrive (the origin counted them
 			// served) and keep them out of the throughput history.
-			f.partialBytes += int64(len(body))
+			f.partialBytes += n
 			f.partialSec += sec
 			c.res.Truncations++
 			transient = true
-		} else if transient && ctx.Err() == nil && len(body) > 0 {
+		} else if transient && ctx.Err() == nil && n > 0 {
 			// A mid-body hangup delivered a prefix before failing; same
 			// two-sided accounting as the length-mismatch case.
-			f.partialBytes += int64(len(body))
+			f.partialBytes += n
 			f.partialSec += sec
 			c.res.Truncations++
 		}
@@ -928,41 +964,51 @@ func (c *Client) fetch(ctx context.Context, path string, kind chaos.Kind, expect
 		c.res.Retries++
 		d := c.Retry.Delay(attempt)
 		f.totalSec += d.Seconds()
-		if !par.Sleep(ctx, d) {
+		if !clock.Sleep(ctx, d) {
 			return nil, fmt.Errorf("dash: GET %s: %w", path, ctx.Err())
 		}
 	}
 }
 
-// getOnce issues one GET and returns the body, the weight epoch the
-// response advertised (0 when the header is absent or malformed — an
-// origin that does not speak the extension simply never triggers a
-// refresh), the declared Content-Length (-1 when unknown), and whether a
-// failure is transient. A body-read failure returns the partial body read
-// so far alongside the error.
-func (c *Client) getOnce(ctx context.Context, path string) (body []byte, epoch uint64, clen int64, transient bool, err error) {
+// getOnce issues one GET and returns the body (nil with discard set), the
+// number of payload bytes read, the weight epoch the response advertised
+// (0 when the header is absent or malformed — an origin that does not
+// speak the extension simply never triggers a refresh), the declared
+// Content-Length (-1 when unknown), and whether a failure is transient. A
+// body-read failure returns the bytes read so far alongside the error.
+// With discard set the payload streams into io.Discard's pooled buffers —
+// segment bodies are measured, never parsed, and buffering them would put
+// the whole catalog's bitrate through the allocator at fleet scale.
+func (c *Client) getOnce(ctx context.Context, path string, discard bool) (body []byte, n int64, epoch uint64, clen int64, transient bool, err error) {
 	reqCtx, cancel := c.requestContext(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, 0, -1, false, err
+		return nil, 0, 0, -1, false, err
 	}
 	c.markChaosKey(req)
 	resp, err := c.httpc().Do(req)
 	if err != nil {
-		return nil, 0, -1, true, fmt.Errorf("dash: GET %s: %w", path, err)
+		return nil, 0, 0, -1, true, fmt.Errorf("dash: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, 0, -1, resp.StatusCode >= 500, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		return nil, 0, 0, -1, resp.StatusCode >= 500, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
 	}
 	if h := resp.Header.Get(WeightEpochHeader); h != "" {
 		epoch, _ = strconv.ParseUint(h, 10, 64)
 	}
+	if discard {
+		n, err = io.Copy(io.Discard, resp.Body)
+		if err != nil {
+			return nil, n, epoch, resp.ContentLength, true, fmt.Errorf("dash: GET %s: reading body: %w", path, err)
+		}
+		return nil, n, epoch, resp.ContentLength, false, nil
+	}
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return body, epoch, resp.ContentLength, true, fmt.Errorf("dash: GET %s: reading body: %w", path, err)
+		return body, int64(len(body)), epoch, resp.ContentLength, true, fmt.Errorf("dash: GET %s: reading body: %w", path, err)
 	}
-	return body, epoch, resp.ContentLength, false, nil
+	return body, int64(len(body)), epoch, resp.ContentLength, false, nil
 }

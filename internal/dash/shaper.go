@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sensei/internal/trace"
+	"sensei/internal/vclock"
 )
 
 // Shaper throttles egress to follow a throughput trace. It is the offline
@@ -16,19 +17,34 @@ import (
 // instead of contending on a global one. Virtual time advances TimeScale
 // times faster than wall-clock time, so a 15-minute session can run in
 // seconds without changing any of the throughput arithmetic.
+//
+// The shaper reads time from a vclock.Clock, so the same arithmetic runs
+// against the wall clock or the discrete-event simulated one: under a
+// simulated clock no time passes between a client starting a download and
+// the origin computing its throttle, so the shaped duration is exact —
+// the trace integral with zero protocol-overhead smearing.
 type Shaper struct {
 	// TimeScale compresses time: virtualSeconds = wallSeconds / TimeScale
 	// ... i.e. sleeping wallSeconds = virtualSeconds * TimeScale. A value
 	// of 0.01 runs sessions 100× faster than real time.
 	TimeScale float64
 
+	clock vclock.Clock
+
 	mu     sync.Mutex
 	cursor *trace.Cursor
-	epoch  time.Time
+	epoch  time.Duration // clock reading at construction
 }
 
-// NewShaper starts a shaper replaying tr from virtual time zero.
+// NewShaper starts a shaper replaying tr from virtual time zero on the
+// wall clock.
 func NewShaper(tr *trace.Trace, timeScale float64) (*Shaper, error) {
+	return NewShaperClock(tr, timeScale, vclock.NewReal())
+}
+
+// NewShaperClock starts a shaper replaying tr from virtual time zero,
+// reading time from clock.
+func NewShaperClock(tr *trace.Trace, timeScale float64, clock vclock.Clock) (*Shaper, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("dash: shaper: %w", err)
 	}
@@ -37,20 +53,21 @@ func NewShaper(tr *trace.Trace, timeScale float64) (*Shaper, error) {
 	}
 	return &Shaper{
 		TimeScale: timeScale,
+		clock:     clock,
 		cursor:    trace.NewCursor(tr),
-		epoch:     time.Now(),
+		epoch:     clock.Now(),
 	}, nil
 }
 
 // VirtualNow returns the current virtual time in seconds.
 func (s *Shaper) VirtualNow() float64 {
-	return time.Since(s.epoch).Seconds() / s.TimeScale
+	return (s.clock.Now() - s.epoch).Seconds() / s.TimeScale
 }
 
 // Throttle accounts for n bytes crossing the bottleneck and returns how
-// long (wall clock) the caller must sleep before the bytes are considered
-// delivered. The shaper's cursor is kept in sync with wall-clock virtual
-// time so idle periods consume trace capacity like a real link.
+// long (clock time) the caller must sleep before the bytes are considered
+// delivered. The shaper's cursor is kept in sync with clock-derived
+// virtual time so idle periods consume trace capacity like a real link.
 //
 // The returned duration is the incremental virtual cost of exactly these n
 // bytes, so callers may batch: one Throttle(n) for a whole segment sleeps

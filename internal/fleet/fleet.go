@@ -33,6 +33,7 @@ import (
 	"sensei/internal/router"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
 
@@ -127,6 +128,15 @@ type Config struct {
 	// SessionIdleTimeout overrides the origin's idle janitor (0 = origin
 	// default).
 	SessionIdleTimeout time.Duration
+	// Clock is the time source the whole run shares: the origin's shaped
+	// delivery, chaos stalls and idle accounting, every client's waits and
+	// download measurements, and the refresh watcher all read it. Nil
+	// selects the wall clock. A *vclock.Virtual runs the identical workload
+	// in discrete-event simulated time — sleeps complete instantly once
+	// every in-flight participant is parked — so a fleet that would take
+	// minutes of wall time finishes in however long the CPU work takes,
+	// with the same rung sequences and ledgers as the wall-clock run.
+	Clock vclock.Clock
 	// Logf receives origin log lines; nil discards them.
 	Logf func(format string, args ...any)
 	// KeepOutcomes retains the per-session outcome rows on the report
@@ -484,7 +494,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		p := cfg.Chaos.Policy()
 		chaosPolicy = &p
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
 	ocfg := origin.Config{
+		Clock:              clock,
 		Catalog:            cfg.Videos,
 		Profile:            cfg.Profile,
 		Traces:             cfg.Traces,
@@ -545,7 +560,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	defer httpc.CloseIdleConnections()
 
 	outcomes := make([]SessionOutcome, cfg.Sessions)
-	start := time.Now()
+	startWall := time.Now()
+	startClock := clock.Now()
 
 	// The scheduled mid-run refresh: wait for every session to join, give
 	// them Refresh.After to get into their streams, then publish new
@@ -557,35 +573,49 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	refreshDone := make(chan struct{})
 	if cfg.Refresh != nil {
 		refreshOut = &RefreshOutcome{Epochs: map[string]uint64{}}
+		// The watcher waits on the run clock, so a virtual run schedules
+		// its bump in simulated time exactly like a wall-clock run does in
+		// real time. Its waits fold fleetDone into a context: the fleet
+		// draining (or the caller canceling) aborts the sleep in flight.
+		watchCtx, cancelWatch := context.WithCancel(ctx)
+		go func() {
+			select {
+			case <-fleetDone:
+			case <-watchCtx.Done():
+			}
+			cancelWatch()
+		}()
 		go func() {
 			defer close(refreshDone)
+			defer cancelWatch()
+			// The watcher is a registered clock participant: its sleeps
+			// park it like any session's shaped wait, so a virtual clock
+			// advances through the join poll and the grace window instead
+			// of deadlocking on a non-participant's timer.
+			clock.Enter()
+			defer clock.Exit()
+			abort := func(before string) {
+				if ctx.Err() != nil {
+					refreshOut.Err = "run canceled before the refresh fired: " + ctx.Err().Error()
+				} else {
+					// Every session finished first: there is nobody left to
+					// refresh, and Run must not stall for the rest of the
+					// wait.
+					refreshOut.Err = "fleet drained before " + before
+				}
+			}
 			// SessionsCreated is a lock-free counter read; a full Stats()
 			// snapshot here would contend with segment serving on the
 			// registry mutex 500 times a second for nothing.
 			for o.SessionsCreated() < int64(cfg.Sessions) {
-				select {
-				case <-fleetDone:
-					refreshOut.Err = "fleet drained before every session joined"
+				if !clock.Sleep(watchCtx, 2*time.Millisecond) {
+					abort("every session joined")
 					return
-				case <-ctx.Done():
-					refreshOut.Err = "run canceled before the refresh fired: " + ctx.Err().Error()
-					return
-				case <-time.After(2 * time.Millisecond):
 				}
 			}
-			grace := time.NewTimer(cfg.Refresh.After)
-			defer grace.Stop()
-			select {
-			case <-fleetDone:
-				// Every session finished inside the grace window: there is
-				// nobody left to refresh, and Run must not stall for the
-				// rest of the timer.
-				refreshOut.Err = "fleet drained before the refresh fired"
+			if !clock.Sleep(watchCtx, cfg.Refresh.After) {
+				abort("the refresh fired")
 				return
-			case <-ctx.Done():
-				refreshOut.Err = "run canceled before the refresh fired: " + ctx.Err().Error()
-				return
-			case <-grace.C:
 			}
 			for _, v := range cfg.Videos {
 				w, err := cfg.Refresh.Weights(v)
@@ -601,7 +631,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				refreshOut.Epochs[v.Name] = p.Epoch
 			}
 			refreshOut.Applied = true
-			refreshOut.AppliedSec = time.Since(start).Seconds()
+			refreshOut.AppliedSec = (clock.Now() - startClock).Seconds()
 		}()
 	} else {
 		close(refreshDone)
@@ -610,15 +640,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// Workers always return nil: a failed session is a data point the
 	// report must show, not a reason to abort the rest of the fleet.
 	_ = par.ForEachN(cfg.Sessions, workers, func(k int) error {
+		// Each session is one registered clock activity: under a virtual
+		// clock, simulated time advances only while every in-flight
+		// session (and the watcher) is parked in a clock sleep.
+		clock.Enter()
+		defer clock.Exit()
 		a := cfg.assign(k, traceNames, abrs, scales)
 		var rater dash.Rater
 		if raters != nil {
 			rater = raters[k]
 		}
-		outcomes[k] = runSession(ctx, base, httpc, cfg.MaxBufferSec, k, a, rater, cfg.Chaos)
-		outcomes[k].FinishedSec = time.Since(start).Seconds()
+		outcomes[k] = runSession(ctx, base, httpc, clock, cfg.MaxBufferSec, k, a, rater, cfg.Chaos)
+		outcomes[k].FinishedSec = (clock.Now() - startClock).Seconds()
 		return nil
 	})
+	// Read the simulated span before teardown: the watcher's final polls
+	// would otherwise keep nudging a virtual clock after the last session
+	// exits and inflate the figure.
+	virtualElapsed := clock.Now() - startClock
 	close(fleetDone)
 	<-refreshDone
 	// Let the ingest autopilot land every triggered refresh before the
@@ -634,14 +673,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("fleet: draining ingest autopilot: %w", err)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(startWall)
 
 	// Read the ledger over the wire, like any external monitor would.
 	st, shardSt, err := fetchStats(ctx, httpc, base)
 	if err != nil {
 		return nil, err
 	}
-	rep := buildReport(outcomes, st, shardSt, refreshOut, elapsed, cfg.KeepOutcomes)
+	rep := buildReport(outcomes, st, shardSt, refreshOut, elapsed, virtualElapsed, cfg.KeepOutcomes)
 	if rep.Chaos != nil && chaosPolicy != nil {
 		// The journal plus the seed make the whole run's fault schedule
 		// independently reproducible via chaos.Policy.Replay.
@@ -652,7 +691,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // runSession streams one fleet slot end to end and captures its outcome.
-func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferSec float64, k int, a assignment, rater dash.Rater, spec *ChaosSpec) SessionOutcome {
+// The caller must hold a clock registration (Enter) for the duration.
+func runSession(ctx context.Context, base string, httpc *http.Client, clock vclock.Clock, maxBufferSec float64, k int, a assignment, rater dash.Rater, spec *ChaosSpec) SessionOutcome {
 	out := SessionOutcome{
 		Index:     k,
 		Video:     a.video.Name,
@@ -673,6 +713,7 @@ func runSession(ctx context.Context, base string, httpc *http.Client, maxBufferS
 		HTTP:         httpc,
 		MaxBufferSec: maxBufferSec,
 		Rater:        rater,
+		Clock:        clock,
 	}
 	if spec != nil {
 		c.ChaosKey = chaosKey(k)

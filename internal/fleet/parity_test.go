@@ -26,12 +26,18 @@ import (
 
 // parityScale trades wall-clock for measurement fidelity: the shaped
 // transfer must dwarf per-request protocol overhead so the client's
-// throughput samples stay within a few percent of the trace rate.
+// throughput samples stay within a few percent of the trace rate. The
+// scripted-epoch-flip scenario sits near a non-monotonic planner
+// boundary (at 2.5 Mbps flat, chunk 4's SENSEI-Fugu decision flips on
+// sub-percent input deltas), so the margin here is deliberately generous:
+// since the client's segment sink went zero-copy its measurements track
+// the trace closely enough that only genuine fidelity — not fortuitous
+// overhead — keeps it on the simulator's side of the boundary.
 func parityScale() float64 {
 	if raceEnabled {
-		return 0.3
+		return 0.45
 	}
-	return 0.15
+	return 0.3
 }
 
 // stallTolerance bounds |client − simulator| total stall in virtual

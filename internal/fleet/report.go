@@ -126,6 +126,13 @@ type Report struct {
 	Failed         int     `json:"failed"`
 	ElapsedSec     float64 `json:"elapsed_sec"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// VirtualSec is the run's span on its own clock: wall time under the
+	// default clock (≈ ElapsedSec), simulated time under a virtual clock.
+	// Speedup is VirtualSec/ElapsedSec — how much faster than real time
+	// the run covered its workload (≈1 on the wall clock, potentially
+	// orders of magnitude under vclock).
+	VirtualSec float64 `json:"virtual_sec"`
+	Speedup    float64 `json:"speedup,omitempty"`
 	// BytesDownloaded / SegmentsDownloaded sum the client-side ledgers.
 	BytesDownloaded    int64 `json:"bytes_downloaded"`
 	SegmentsDownloaded int64 `json:"segments_downloaded"`
@@ -204,10 +211,11 @@ type ChaosLedger struct {
 
 // buildReport aggregates outcomes and reconciles them against the origin's
 // ledger.
-func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.Stats, refresh *RefreshOutcome, elapsed time.Duration, keepOutcomes bool) *Report {
+func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.Stats, refresh *RefreshOutcome, elapsed, virtual time.Duration, keepOutcomes bool) *Report {
 	r := &Report{
 		Sessions:   len(outcomes),
 		ElapsedSec: elapsed.Seconds(),
+		VirtualSec: virtual.Seconds(),
 		ByABR:      map[string]Cohort{},
 		ByTrace:    map[string]Cohort{},
 		ByEpoch:    map[string]Cohort{},
@@ -217,6 +225,7 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.St
 	}
 	if r.ElapsedSec > 0 {
 		r.SessionsPerSec = float64(r.Sessions) / r.ElapsedSec
+		r.Speedup = r.VirtualSec / r.ElapsedSec
 	}
 	var rebuf, thrMbps, qoes, trueQoEs []float64
 	type cohortAcc struct {
@@ -573,6 +582,10 @@ func (r *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d sessions (%d failed) in %.2fs (%.1f sessions/s)\n",
 		r.Sessions, r.Failed, r.ElapsedSec, r.SessionsPerSec)
+	if r.VirtualSec > 0 {
+		fmt.Fprintf(&b, "clock: %.2f simulated s in %.2f wall s (%.1fx real time)\n",
+			r.VirtualSec, r.ElapsedSec, r.Speedup)
+	}
 	fmt.Fprintf(&b, "traffic: %.1f MB, %d segments\n",
 		float64(r.BytesDownloaded)/1e6, r.SegmentsDownloaded)
 	fmt.Fprintf(&b, "rebuffer (virtual s): p50 %.2f  p95 %.2f  p99 %.2f\n",

@@ -47,7 +47,7 @@ import (
 	"time"
 
 	"sensei/internal/mos"
-	"sensei/internal/par"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
 
@@ -102,7 +102,14 @@ type Config struct {
 	// QueueDepth bounds pending refresh jobs; a passing gate with a full
 	// queue drops the trigger (counted) rather than blocking the hot path.
 	QueueDepth int
-	// Now overrides the clock (tests).
+	// Clock is the timing plane refresh jobs are accounted on (nil selects
+	// the wall clock). Under a virtual clock every queued job holds one
+	// registered activity unit from enqueue until its campaign settles, so
+	// simulated time cannot advance past an autonomous refresh that is
+	// still in flight.
+	Clock vclock.Clock
+	// Now overrides the evidence clock (tests). Nil derives it from Clock,
+	// so recency decay runs in simulated time under a virtual clock.
 	Now func() time.Time
 }
 
@@ -132,8 +139,15 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
 	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
 	if c.Now == nil {
-		c.Now = time.Now
+		// Anchor evidence timestamps to the clock: under the wall clock
+		// this is ordinary time; under a virtual clock, decay and refresh
+		// rate limits run in simulated time.
+		clock, epoch := c.Clock, time.Unix(0, 0)
+		c.Now = func() time.Time { return epoch.Add(clock.Now()) }
 	}
 	return c
 }
@@ -208,8 +222,14 @@ type Plane struct {
 	ref    Refresher
 	shards []shard
 
-	queue   chan job
-	pending atomic.Int64 // queued + running refresh jobs
+	queue chan job
+
+	// pending counts queued + running refresh jobs; idle is lazily created
+	// by a Quiesce waiter and closed when pending drains to zero, so
+	// quiescing is a blocking wait on a condition signal, never a poll.
+	pendMu  sync.Mutex
+	pending int64
+	idle    chan struct{}
 
 	accepted    atomic.Int64
 	quarantined atomic.Int64
@@ -272,14 +292,40 @@ func (p *Plane) Stats() Stats {
 // Quiesce blocks until every triggered refresh has completed (applied or
 // errored) or ctx expires. Harnesses call it between draining their clients
 // and reading /stats, so the refresh counters are settled when the ledgers
-// are reconciled.
+// are reconciled. The wait is condition-signaled — the worker closes the
+// idle channel when the last pending job settles — so quiescing burns no
+// CPU and works identically under real and virtual clocks (nothing here
+// sleeps, so an un-registered caller cannot deadlock a simulation).
 func (p *Plane) Quiesce(ctx context.Context) error {
-	for p.pending.Load() > 0 {
-		if !par.Sleep(ctx, 2*time.Millisecond) {
+	for {
+		p.pendMu.Lock()
+		if p.pending == 0 {
+			p.pendMu.Unlock()
+			return nil
+		}
+		if p.idle == nil {
+			p.idle = make(chan struct{})
+		}
+		idle := p.idle
+		p.pendMu.Unlock()
+		select {
+		case <-idle:
+		case <-ctx.Done():
 			return fmt.Errorf("ingest: quiesce: %w", ctx.Err())
 		}
 	}
-	return nil
+}
+
+// addPending adjusts the pending-job count, signalling any Quiesce waiters
+// when it drains to zero.
+func (p *Plane) addPending(delta int64) {
+	p.pendMu.Lock()
+	p.pending += delta
+	if p.pending == 0 && p.idle != nil {
+		close(p.idle)
+		p.idle = nil
+	}
+	p.pendMu.Unlock()
 }
 
 // shardFor stripes videos across shards by name.
@@ -406,14 +452,20 @@ func (p *Plane) gatePasses(ve *videoEvidence, win int, now time.Time) bool {
 
 // enqueue hands a job to the worker, dropping (and counting) it when the
 // queue is full or the plane is closed — the hot path never blocks on the
-// campaign backlog.
+// campaign backlog. A queued job holds one clock activity unit (released
+// by the worker when the campaign settles): under a virtual clock,
+// simulated time cannot advance past a refresh that is still pending. The
+// Enter happens before the send so the worker's matching Exit can never
+// run first.
 func (p *Plane) enqueue(j job) {
-	p.pending.Add(1)
+	p.addPending(1)
+	p.cfg.Clock.Enter()
 	select {
 	case p.queue <- j:
 		p.triggered.Add(1)
 	default:
-		p.pending.Add(-1)
+		p.cfg.Clock.Exit()
+		p.addPending(-1)
 		p.dropped.Add(1)
 		p.clearInflight(j)
 	}
@@ -430,7 +482,8 @@ func (p *Plane) worker() {
 			return
 		case j := <-p.queue:
 			p.runRefresh(j)
-			p.pending.Add(-1)
+			p.addPending(-1)
+			p.cfg.Clock.Exit()
 		}
 	}
 }

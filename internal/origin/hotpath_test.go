@@ -57,7 +57,7 @@ func newTestSession(o *Origin, videoName string) (*session, error) {
 		traceName: o.cfg.DefaultTrace,
 		timeScale: o.cfg.TimeScale,
 		shaper:    shaper,
-		created:   time.Now(),
+		created:   o.cfg.Clock.Now(),
 	}
 	s.touch(s.created)
 	return s, nil
@@ -95,7 +95,7 @@ func TestRegistryShardStress(t *testing.T) {
 			case <-stop:
 				return
 			case <-time.After(time.Millisecond):
-				o.expireIdle(time.Now().Add(o.cfg.SessionIdleTimeout + time.Hour))
+				o.expireIdle(o.cfg.Clock.Now() + o.cfg.SessionIdleTimeout + time.Hour)
 			}
 		}
 	}()
@@ -166,7 +166,7 @@ func TestRegistryShardStress(t *testing.T) {
 	antWg.Wait()
 
 	// Let the janitor antagonist's final laps finish via a direct sweep.
-	o.expireIdle(time.Now().Add(o.cfg.SessionIdleTimeout + time.Hour))
+	o.expireIdle(o.cfg.Clock.Now() + o.cfg.SessionIdleTimeout + time.Hour)
 
 	st := o.Stats()
 	want := int64(workers * iters)

@@ -60,9 +60,9 @@ import (
 	"sensei/internal/chaos"
 	"sensei/internal/dash"
 	"sensei/internal/ingest"
-	"sensei/internal/par"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
 
@@ -117,6 +117,23 @@ type Config struct {
 	// the middleware off the request path entirely — the healthy segment
 	// path pays nothing for the plane's existence.
 	Chaos *chaos.Policy
+	// Clock is the timing plane every origin sleep and timestamp runs on —
+	// shaped segment delivery, chaos stalls, session idle accounting, the
+	// janitor's expiry decisions and ingest refresh accounting. Nil selects
+	// the wall clock (vclock.NewReal), which is the historical behavior.
+	// Under a virtual clock, requests must arrive from registered vclock
+	// participants (the fleet harness's sessions) unless ExternalClients is
+	// set.
+	Clock vclock.Clock
+	// ExternalClients marks deployments whose clients are outside the
+	// process (cmd/dashserver -vclock): the origin brackets every request
+	// with its own Enter/Exit so unregistered callers can drive a virtual
+	// clock — each request runs at a frozen instant and its shaped delivery
+	// advances simulated time the moment the server is otherwise idle. The
+	// caveat: with no registered long-lived participants, sessions rack up
+	// simulated idle time only while requests sleep, so idle expiry is
+	// effectively disabled. Ignored on a wall clock.
+	ExternalClients bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -235,6 +252,9 @@ func New(cfg Config) (*Origin, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
 	videos := make(map[string]*catalogEntry, len(cfg.Catalog))
 	for _, v := range cfg.Catalog {
 		if v == nil || v.Name == "" {
@@ -262,7 +282,11 @@ func New(cfg Config) (*Origin, error) {
 		o.shards[i].sessions = map[string]*session{}
 	}
 	if cfg.Ingest != nil {
-		plane, err := ingest.New(*cfg.Ingest, refresherAdapter{o}, cfg.Logf)
+		icfg := *cfg.Ingest
+		if icfg.Clock == nil {
+			icfg.Clock = cfg.Clock
+		}
+		plane, err := ingest.New(icfg, refresherAdapter{o}, cfg.Logf)
 		if err != nil {
 			return nil, err
 		}
@@ -286,8 +310,19 @@ func New(cfg Config) (*Origin, error) {
 		if err != nil {
 			return nil, fmt.Errorf("origin: %w", err)
 		}
+		inj.SetClock(cfg.Clock)
 		o.chaos = inj
 		o.handler = inj.Middleware(mux, classifyChaos)
+	}
+	if cfg.ExternalClients {
+		// Outermost wrapper, so chaos stalls and shaped throttles inside run
+		// under the request's activity unit.
+		inner, clock := o.handler, cfg.Clock
+		o.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			clock.Enter()
+			defer clock.Exit()
+			inner.ServeHTTP(w, r)
+		})
 	}
 
 	interval := cfg.SessionIdleTimeout / 4
@@ -561,7 +596,7 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("origin: invalid timescale %v", req.TimeScale), http.StatusBadRequest)
 		return
 	}
-	shaper, err := dash.NewShaper(tr, scale)
+	shaper, err := dash.NewShaperClock(tr, scale, o.cfg.Clock)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -576,7 +611,7 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		traceName: traceName,
 		timeScale: scale,
 		shaper:    shaper,
-		created:   time.Now(),
+		created:   o.cfg.Clock.Now(),
 	}
 	s.touch(s.created)
 	if !o.addSession(s) {
@@ -892,14 +927,14 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 	// per segment instead of one per 256 KiB. Clients tolerate the
 	// front-loaded sleep: their request timeout bounds the whole transfer,
 	// not time-to-first-byte.
-	if !par.Sleep(r.Context(), sess.shaper.Throttle(deliver)) {
+	if !o.cfg.Clock.Sleep(r.Context(), sess.shaper.Throttle(deliver)) {
 		return // client went away mid-throttle
 	}
 	// Accounting happens before the corresponding Write: Content-Length is
 	// set, so the moment the last slice hits the socket the client may
 	// observe the transfer complete and read /stats — counters updated
 	// after that Write would race with the read.
-	sess.touch(time.Now())
+	sess.touch(o.cfg.Clock.Now())
 	sess.bytes.Add(int64(deliver))
 	sess.shard.bytes.Add(int64(deliver))
 	remaining := deliver
@@ -976,7 +1011,7 @@ type Stats struct {
 // Stats snapshots the origin's counters, folding the per-stripe registry
 // and byte/segment ledgers the hot path writes.
 func (o *Origin) Stats() Stats {
-	now := time.Now()
+	now := o.cfg.Clock.Now()
 	sessions := make([]SessionStats, 0, o.active.Load())
 	var bytesServed, segmentsServed int64
 	for i := range o.shards {
@@ -991,7 +1026,7 @@ func (o *Origin) Stats() Stats {
 				Bytes:     s.bytes.Load(),
 				Segments:  s.segments.Load(),
 				IdleSec:   s.idleSince(now).Seconds(),
-				UptimeSec: now.Sub(s.created).Seconds(),
+				UptimeSec: (now - s.created).Seconds(),
 			})
 		}
 		sh.mu.RUnlock()

@@ -45,9 +45,9 @@ type session struct {
 	shaper    *dash.Shaper
 	shard     *sessionShard // the registry stripe holding this session
 
-	created  time.Time
-	lastSeen atomic.Int64 // unix nanoseconds
-	inflight atomic.Int64 // segment streams currently being served
+	created  time.Duration // origin clock reading at join
+	lastSeen atomic.Int64  // origin clock reading, nanoseconds
+	inflight atomic.Int64  // segment streams currently being served
 	bytes    atomic.Int64
 	segments atomic.Int64
 }
@@ -64,14 +64,15 @@ func newSessionID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// touch marks the session as active now.
-func (s *session) touch(now time.Time) {
-	s.lastSeen.Store(now.UnixNano())
+// touch marks the session as active at the given clock reading.
+func (s *session) touch(now time.Duration) {
+	s.lastSeen.Store(int64(now))
 }
 
-// idleSince reports how long the session has been idle at now.
-func (s *session) idleSince(now time.Time) time.Duration {
-	return now.Sub(time.Unix(0, s.lastSeen.Load()))
+// idleSince reports how long the session has been idle at clock reading
+// now.
+func (s *session) idleSince(now time.Duration) time.Duration {
+	return now - time.Duration(s.lastSeen.Load())
 }
 
 // shardFor stripes session IDs across registry shards (inline FNV-1a: the
@@ -117,7 +118,7 @@ func (o *Origin) lookupSession(id string) (*session, bool) {
 	s, ok := sh.sessions[id]
 	sh.mu.RUnlock()
 	if ok {
-		s.touch(time.Now())
+		s.touch(o.cfg.Clock.Now())
 	}
 	return s, ok
 }
@@ -139,7 +140,7 @@ func (o *Origin) lookupSessionStream(id string) (*session, bool) {
 	}
 	sh.mu.RUnlock()
 	if ok {
-		s.touch(time.Now())
+		s.touch(o.cfg.Clock.Now())
 	}
 	return s, ok
 }
@@ -175,11 +176,11 @@ func (o *Origin) removeSession(id string) removeOutcome {
 	return removeDone
 }
 
-// expireIdle removes sessions idle longer than the configured timeout and
-// returns how many were reaped, one stripe at a time so the janitor never
-// stalls the whole registry. The janitor calls it periodically; tests call
-// it directly.
-func (o *Origin) expireIdle(now time.Time) int {
+// expireIdle removes sessions idle longer than the configured timeout at
+// clock reading now and returns how many were reaped, one stripe at a time
+// so the janitor never stalls the whole registry. The janitor calls it
+// periodically; tests call it directly.
+func (o *Origin) expireIdle(now time.Duration) int {
 	var reaped int
 	for i := range o.shards {
 		sh := &o.shards[i]
@@ -203,7 +204,14 @@ func (o *Origin) expireIdle(now time.Time) int {
 	return reaped
 }
 
-// janitor periodically reaps idle sessions until the origin closes.
+// janitor periodically reaps idle sessions until the origin closes. Its
+// cadence is deliberately wall-clock even when the origin runs on a
+// virtual clock: idle durations are measured in clock time (expireIdle
+// compares clock readings), but nothing in the system synchronizes on
+// expiry, so making the janitor a registered vclock participant would
+// only let its parked deadline free-run simulated time through every
+// quiescent gap. Sampling the clock on a wall cadence reaps exactly the
+// sessions whose *simulated* idle time exceeded the timeout.
 func (o *Origin) janitor(interval time.Duration) {
 	defer o.wg.Done()
 	t := time.NewTicker(interval)
@@ -212,8 +220,8 @@ func (o *Origin) janitor(interval time.Duration) {
 		select {
 		case <-o.done:
 			return
-		case now := <-t.C:
-			o.expireIdle(now)
+		case <-t.C:
+			o.expireIdle(o.cfg.Clock.Now())
 		}
 	}
 }

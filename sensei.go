@@ -61,6 +61,7 @@ import (
 	"sensei/internal/router"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
+	"sensei/internal/vclock"
 	"sensei/internal/video"
 )
 
@@ -416,6 +417,28 @@ const (
 func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetReport, error) {
 	return fleet.Run(ctx, cfg)
 }
+
+// Virtual time plane: every sleep and duration measurement in the origin,
+// the DASH client, the chaos injector and the fleet harness goes through a
+// Clock. The default (NewRealClock) is the wall clock; NewVirtualClock
+// swaps in a discrete-event simulated clock that jumps straight to the
+// next deadline whenever every registered participant is asleep, so a
+// fleet spanning hours of stream time finishes in CPU-bound wall time with
+// byte-identical ledgers. Set FleetConfig.Clock (or `fleetsim -vclock`);
+// for an out-of-process origin set DASHOriginConfig.Clock together with
+// DASHOriginConfig.ExternalClients (or `dashserver -vclock`).
+
+// Clock is the time source threaded through the streaming stack.
+type Clock = vclock.Clock
+
+// NewRealClock returns the wall-clock Clock — the default everywhere a
+// Clock field is left nil.
+func NewRealClock() Clock { return vclock.NewReal() }
+
+// NewVirtualClock returns a discrete-event simulated Clock. Share one
+// instance across every component of a run; mixing clocks stalls the run,
+// because quiescence is judged per instance.
+func NewVirtualClock() Clock { return vclock.NewVirtual() }
 
 // Chaos plane: seeded, replayable fault injection on the origin's wire
 // protocol, and the client-side resilience contract that absorbs it —
