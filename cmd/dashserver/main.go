@@ -29,7 +29,7 @@
 //	           [-weightdir weights] [-idle 2m] [-autopilot] [-ap-window 4]
 //	           [-ap-samples 32] [-ap-interval 30s] [-ap-delta 0.25]
 //	           [-chaos-rate 0] [-chaos-seed N] [-chaos-max-consecutive 2]
-//	           [-pprof addr]
+//	           [-events] [-pprof addr]
 //
 // -shards N > 1 fronts N origin shards behind the one listener with a
 // consistent-hash router: sessions are sticky (every request of a session
@@ -41,6 +41,15 @@
 //
 // -pprof serves net/http/pprof on a side listener for live profiling of
 // the serving hot path.
+//
+// -events turns on the qlog-style session event plane: every session owns
+// a bounded lock-free trace ring (drop-on-full with exact accounting —
+// observability never blocks the hot path), GET /events?sid=...&since=...
+// drains a session's typed events incrementally as JSON lines (no sid
+// drains the origin's process-level ring; under -shards the router fans
+// the drain out across every shard), and GET /metrics exposes the
+// aggregate registry in Prometheus text — served lock-free from padded
+// atomics, shared across all shards.
 //
 // -vclock serves on a discrete-event virtual clock: every throttle sleep
 // jumps straight to its deadline the moment all in-flight requests are
@@ -118,6 +127,7 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-inject this fraction of requests per endpoint kind (0 = chaos off): 5xx, connection resets, stalls, truncated segment bodies")
 	chaosSeed := flag.Uint64("chaos-seed", 0xc4a05, "fault-policy seed; the same seed replays the same fault schedule")
 	chaosStreak := flag.Int("chaos-max-consecutive", 0, "cap on consecutive faults per (session, endpoint) stream (0 = default 2); keep it below client retry budgets")
+	eventsOn := flag.Bool("events", false, "enable the session event plane: per-session qlog trace rings, GET /events?sid=... incremental drains and a Prometheus-text GET /metrics")
 	flag.Parse()
 
 	var catalog []*sensei.Video
@@ -209,6 +219,9 @@ func main() {
 		Chaos:              chaosCfg,
 		Logf:               log.Printf,
 	}
+	if *eventsOn {
+		ocfg.Events = &sensei.DASHEventsConfig{}
+	}
 	var clk sensei.Clock
 	if *vclockOn {
 		// In-flight requests are the virtual clock's registered units:
@@ -279,6 +292,9 @@ func main() {
 	if chaosCfg != nil {
 		fmt.Printf("chaos: faulting %.0f%% of requests per endpoint (seed %#x); /stats and /refresh are never faulted\n",
 			*chaosRate*100, *chaosSeed)
+	}
+	if *eventsOn {
+		fmt.Println("events: per-session trace rings on; drain GET /events?sid=...&since=..., scrape GET /metrics")
 	}
 
 	stop := make(chan os.Signal, 1)

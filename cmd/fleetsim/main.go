@@ -13,7 +13,7 @@
 //	         [-timescales 0.05] [-vclock] [-workers 0] [-timeout 0]
 //	         [-refresh 0] [-shards 1] [-closedloop] [-chaos]
 //	         [-chaos-rate 0.08] [-chaos-seed N] [-noweights] [-json]
-//	         [-outcomes] [-pprof addr] [-v]
+//	         [-outcomes] [-events] [-events-dump slot] [-pprof addr] [-v]
 //
 // -shards N > 1 runs the fleet against a consistent-hash router fronting N
 // origin shards instead of a single origin: sessions spread across shards
@@ -48,8 +48,14 @@
 // turns every client resilient; the report gains a two-sided fault ledger
 // and the run fails unless every session survives and the ledgers
 // reconcile per endpoint kind — the whole fault schedule replays from
-// -chaos-seed. -json emits the report as JSON (with per-session rows
-// under -outcomes) instead of text.
+// -chaos-seed. -events runs the fleet with per-session qlog trace rings:
+// the report gains an event-plane ledger and reconciliation additionally
+// cross-checks every session's event tallies against its own ledgers and
+// the origin's /stats — a third independently produced account of the run,
+// voided by any ring drop. -events-dump N prints fleet slot N's full
+// ordered trace as JSON lines on stderr after the report (implies -events).
+// -json emits the report as JSON (with per-session rows under -outcomes)
+// instead of text.
 package main
 
 import (
@@ -86,6 +92,8 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", fleet.DefaultChaosRate, "uniform per-request fault probability per endpoint kind (with -chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", fleet.DefaultChaosSeed, "fault-policy seed; the whole fault schedule replays from it (with -chaos)")
 	noWeights := flag.Bool("noweights", false, "serve weightless manifests (skip sensitivity profiling)")
+	eventsOn := flag.Bool("events", false, "trace every session into a qlog event ring; the report gains an event-plane ledger and reconciliation cross-checks event tallies against the session and origin ledgers")
+	eventsDump := flag.Int("events-dump", -1, "print fleet slot N's full ordered event trace as JSON lines on stderr after the report (implies -events; -1 = off)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	outcomes := flag.Bool("outcomes", false, "include per-session rows in the JSON report")
 	verbose := flag.Bool("v", false, "log origin activity to stderr")
@@ -165,6 +173,14 @@ func main() {
 	if *chaosOn {
 		cfg.Chaos = &fleet.ChaosSpec{Seed: *chaosSeed, Rate: *chaosRate}
 	}
+	if *eventsOn || *eventsDump >= 0 {
+		// A trace dump needs the full per-session event lists kept (and the
+		// outcome rows they ride on); a bare -events keeps only tallies.
+		cfg.Events = &fleet.EventsSpec{KeepTraces: *eventsDump >= 0}
+		if *eventsDump >= 0 {
+			cfg.KeepOutcomes = true
+		}
+	}
 	if *vclockOn {
 		cfg.Clock = sensei.NewVirtualClock()
 	}
@@ -198,9 +214,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vclock: %d sessions spanned %.1f simulated s in %.2f wall s (%.0fx real time)\n",
 			report.Sessions, report.VirtualSec, report.ElapsedSec, report.Speedup)
 	}
+	if *eventsDump >= 0 {
+		dumpTrace(report, *eventsDump)
+	}
 	if report.Failed > 0 || !report.Reconciliation.Ok {
 		os.Exit(1)
 	}
+}
+
+// dumpTrace prints one fleet slot's ordered event trace as JSON lines.
+func dumpTrace(report *fleet.Report, slot int) {
+	for i := range report.Outcomes {
+		o := &report.Outcomes[i]
+		if o.Index != slot {
+			continue
+		}
+		if o.Events == nil || len(o.Events.Trace) == 0 {
+			fmt.Fprintf(os.Stderr, "fleetsim: slot %d kept no trace\n", slot)
+			return
+		}
+		var buf []byte
+		for _, ev := range o.Events.Trace {
+			buf = append(ev.AppendJSON(buf[:0]), '\n')
+			os.Stderr.Write(buf)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fleetsim: no slot %d in a fleet of %d sessions\n", slot, report.Sessions)
 }
 
 // splitList splits a comma-separated flag, trimming blanks.

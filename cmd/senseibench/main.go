@@ -42,6 +42,7 @@ import (
 	"sensei/internal/origin"
 	"sensei/internal/par"
 	"sensei/internal/player"
+	"sensei/internal/qlog"
 	"sensei/internal/router"
 	"sensei/internal/trace"
 	"sensei/internal/vclock"
@@ -62,6 +63,7 @@ type benchReport struct {
 	Fleet          fleetBench         `json:"fleet"`
 	Refresh        refreshBench       `json:"refresh"`
 	Ingest         ingestBench        `json:"ingest"`
+	Qlog           qlogBench          `json:"qlog"`
 	ExperimentSec  map[string]float64 `json:"experiment_sec"`
 	TotalSec       float64            `json:"total_sec"`
 	ExperimentList []string           `json:"experiment_list"`
@@ -347,6 +349,100 @@ func ingestMicroBench() (ingestBench, error) {
 	return ingestBench{RatingsPerSec: ratings / time.Since(start).Seconds()}, nil
 }
 
+// qlogBench prices the event plane. AppendNs is the cost of one hot-path
+// emit — a ring push plus the registry bump — measured in a tight loop with
+// the ring drained every lap so every push takes the success path.
+// EventsSegmentsPerSec re-measures the origin segment path with the event
+// plane on (per-segment ring mirror + three registry observations), and
+// OverheadPct is the relative cost of that presence versus the plain
+// harness — the "observability never blocks the hot path" contract,
+// measured the same warmed paired-block best-of way as the chaos-idle
+// comparison and clamped at 0.
+type qlogBench struct {
+	AppendNs             float64 `json:"append_ns"`
+	EventsSegmentsPerSec float64 `json:"events_segments_per_sec"`
+	OverheadPct          float64 `json:"overhead_pct"`
+}
+
+// qlogMicroBench measures the emit hot path and the end-to-end serving tax.
+func qlogMicroBench() (qlogBench, error) {
+	// Emit micro-bench: push through the ring in full-capacity laps,
+	// draining between laps so no push ever takes the drop path. The drain
+	// is outside the timed region.
+	ring := qlog.NewRing(qlog.DefaultRingCapacity)
+	metrics := &qlog.Metrics{}
+	ev := qlog.Event{Kind: qlog.KindChunkDone, Chunk: 3, Rung: 2, Bytes: 1 << 20}
+	const laps = 512
+	var buf []qlog.Event
+	var emitNs time.Duration
+	for lap := 0; lap < laps; lap++ {
+		start := time.Now()
+		for i := 0; i < qlog.DefaultRingCapacity; i++ {
+			qlog.Emit(ring, metrics, ev)
+		}
+		emitNs += time.Since(start)
+		buf = ring.Drain(buf[:0])
+	}
+	out := qlogBench{
+		AppendNs: float64(emitNs.Nanoseconds()) / float64(laps*qlog.DefaultRingCapacity),
+	}
+	if ring.Drops() != 0 {
+		return out, fmt.Errorf("qlog bench: %d drops on a drained ring", ring.Drops())
+	}
+
+	// Serving tax: warmed paired blocks on a plain and an events-on origin,
+	// best of each side (see originMicroBench for why paired-best).
+	const (
+		warmup = 40
+		block  = 100
+		rounds = 3
+	)
+	plain, err := origin.NewSegmentBenchHarnessWithChaos(nil)
+	if err != nil {
+		return out, err
+	}
+	defer plain.Close()
+	events, err := origin.NewSegmentBenchHarnessWithEvents()
+	if err != nil {
+		return out, err
+	}
+	defer events.Close()
+	measure := func(h *origin.SegmentBenchHarness, n int) (float64, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := h.Fetch(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(n) / time.Since(start).Seconds(), nil
+	}
+	if _, err := measure(plain, warmup); err != nil {
+		return out, err
+	}
+	if _, err := measure(events, warmup); err != nil {
+		return out, err
+	}
+	var bestPlain, bestEvents float64
+	for r := 0; r < rounds; r++ {
+		p, err := measure(plain, block)
+		if err != nil {
+			return out, err
+		}
+		e, err := measure(events, block)
+		if err != nil {
+			return out, err
+		}
+		bestPlain = max(bestPlain, p)
+		bestEvents = max(bestEvents, e)
+	}
+	out.EventsSegmentsPerSec = bestEvents
+	out.OverheadPct = (bestPlain - bestEvents) / bestPlain * 100
+	if out.OverheadPct < 0 {
+		out.OverheadPct = 0
+	}
+	return out, nil
+}
+
 // fleetBench summarizes one end-to-end fleet run (internal/fleet): a
 // 16-session mixed-ABR fleet over 4 videos with shaping effectively
 // disabled, so sessions/sec tracks harness + client + origin overhead
@@ -445,8 +541,17 @@ func checkAgainstBaseline(cur, base benchReport, tol float64) []string {
 	higher("fleet sessions/s", cur.Fleet.SessionsPerSec, base.Fleet.SessionsPerSec)
 	higher("fleet vclock sessions/s", cur.Fleet.VclockSessionsPerSec, base.Fleet.VclockSessionsPerSec)
 	higher("ingest ratings/s", cur.Ingest.RatingsPerSec, base.Ingest.RatingsPerSec)
+	higher("qlog events-on segments/s", cur.Qlog.EventsSegmentsPerSec, base.Qlog.EventsSegmentsPerSec)
 	lower("refresh publish ns/op", cur.Refresh.PublishNsPerOp, base.Refresh.PublishNsPerOp)
 	lower("refresh snapshot ns/op", cur.Refresh.SnapshotNsPerOp, base.Refresh.SnapshotNsPerOp)
+	lower("qlog append ns/op", cur.Qlog.AppendNs, base.Qlog.AppendNs)
+	// The event plane's serving tax is gated absolutely, not against the
+	// baseline: the contract is "observability never blocks the hot path",
+	// and a ≤5% paired-best overhead is that contract's number.
+	if cur.Qlog.OverheadPct > 5 {
+		regressions = append(regressions,
+			fmt.Sprintf("qlog overhead: %.1f%% vs the 5%% absolute ceiling", cur.Qlog.OverheadPct))
+	}
 	// The experiment wall-clock is only comparable when this run covered
 	// the same experiments at the same mode as the baseline: a subset run
 	// would trivially pass (masking a slowdown), a -mode full run against
@@ -567,12 +672,19 @@ func main() {
 			os.Exit(1)
 		}
 		report.Ingest = ib
-		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s serial / %.0f parallel (chaos-idle %.0f, %+.1f%%), router×%d %.0f seg/s, fleet %.0f sess/s (vclock %.0f, %.0fx real time), refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, total %.1fs]\n",
+		qb, err := qlogMicroBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "senseibench: qlog bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Qlog = qb
+		fmt.Printf("[perf: planner %.0fx, origin %.0f seg/s serial / %.0f parallel (chaos-idle %.0f, %+.1f%%), router×%d %.0f seg/s, fleet %.0f sess/s (vclock %.0f, %.0fx real time), refresh publish %.0fµs / snapshot %.0fns, ingest %.0f ratings/s, qlog emit %.0fns (events-on %.0f seg/s, %+.1f%%), total %.1fs]\n",
 			report.Planner.Speedup, report.Origin.SegmentsPerSec, report.Origin.SegmentsPerSecParallel,
 			report.Origin.ChaosIdleSegmentsPerSec, report.Origin.ChaosIdleOverheadPct,
 			report.Router.Shards, report.Router.SegmentsPerSec,
 			report.Fleet.SessionsPerSec, report.Fleet.VclockSessionsPerSec, report.Fleet.VclockSpeedup,
-			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.Ingest.RatingsPerSec, report.TotalSec)
+			report.Refresh.PublishNsPerOp/1e3, report.Refresh.SnapshotNsPerOp, report.Ingest.RatingsPerSec,
+			report.Qlog.AppendNs, report.Qlog.EventsSegmentsPerSec, report.Qlog.OverheadPct, report.TotalSec)
 	}
 	if *benchJSON != "" {
 		f, err := os.Create(*benchJSON)

@@ -301,13 +301,14 @@ type Injector struct {
 	policy Policy
 	clock  vclock.Clock
 
-	mu      sync.Mutex
-	streams map[streamKey]*streamState
-	byKind  map[string]int64
-	byMode  map[string]int64
-	total   int64
-	dropped int64
-	journal []Event
+	mu       sync.Mutex
+	streams  map[streamKey]*streamState
+	byKind   map[string]int64
+	byMode   map[string]int64
+	total    int64
+	dropped  int64
+	journal  []Event
+	observer func(Event)
 }
 
 // NewInjector validates p and returns an injector for it, stalling on the
@@ -341,6 +342,16 @@ func (in *Injector) SetClock(c vclock.Clock) {
 // Policy returns the injector's (validated) policy.
 func (in *Injector) Policy() Policy { return in.policy }
 
+// SetObserver registers a callback invoked for every injected fault, with
+// the same Event the journal records — the event plane's mirror hook. The
+// callback runs on the request path under the injector's mutex, so it must
+// be non-blocking and cheap (a ring emit qualifies). Call before serving.
+func (in *Injector) SetObserver(fn func(Event)) {
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
+}
+
 // Decide advances the (key, kind) stream one position and returns the fault
 // mode to inject, "" for a clean request. Faults are ledgered and
 // journaled here, atomically with the decision.
@@ -370,6 +381,9 @@ func (in *Injector) Decide(key string, kind Kind) Mode {
 		in.journal = append(in.journal, Event{Key: key, Kind: kind, Seq: seq, Mode: mode})
 	} else {
 		in.dropped++
+	}
+	if in.observer != nil {
+		in.observer(Event{Key: key, Kind: kind, Seq: seq, Mode: mode})
 	}
 	return mode
 }

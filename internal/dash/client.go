@@ -16,6 +16,7 @@ import (
 	"sensei/internal/crowd"
 	"sensei/internal/par"
 	"sensei/internal/player"
+	"sensei/internal/qlog"
 	"sensei/internal/qoe"
 	"sensei/internal/sensitivity"
 	"sensei/internal/vclock"
@@ -141,11 +142,25 @@ type Client struct {
 	// between issuing a request and the origin computing its shaped
 	// delivery.
 	Clock vclock.Clock
+	// Events, when non-nil, receives the client's structured trace: every
+	// decision, download, stall, retry, degradation and rating lands on the
+	// ring as a typed qlog.Event stamped on the client's clock. Emission
+	// never blocks — a full ring drops and counts. Nil disables tracing.
+	Events *qlog.Ring
+	// Metrics, when non-nil, receives the aggregate side of the same story
+	// (decision/download/stall histograms, retry and degradation counters).
+	// The fleet harness shares one registry between every client and the
+	// origin so GET /metrics exposes both planes at once.
+	Metrics *qlog.Metrics
 
 	sid          string
 	videoName    string
 	sessionScale float64
 	res          Resilience
+	// streamedBytes / streamedChunks remember the last Stream's ledger so
+	// Leave's session_leave event can carry the session totals.
+	streamedBytes  int64
+	streamedChunks int64
 }
 
 // Rater produces an in-player rating for the chunk that just finished
@@ -301,16 +316,17 @@ func (c *Client) Join(ctx context.Context, videoName string) error {
 	for attempt := 0; ; attempt++ {
 		transient, err := c.joinOnce(ctx, body)
 		if err == nil {
+			c.emit(qlog.Event{Kind: qlog.KindSessionJoin, Detail: c.videoName})
 			return nil
 		}
 		if !transient || ctx.Err() != nil {
 			return err
 		}
-		c.res.fault(chaos.KindSession)
+		c.fault(chaos.KindSession)
 		if attempt >= c.Retry.Budget() {
 			return fmt.Errorf("dash: joining session: retry budget exhausted after %d attempts: %w", attempt+1, err)
 		}
-		c.res.Retries++
+		c.retry()
 		if !c.backoff(ctx, attempt) {
 			return fmt.Errorf("dash: joining session: %w", ctx.Err())
 		}
@@ -371,7 +387,7 @@ func (c *Client) Leave(ctx context.Context) error {
 		case err != nil && ctx.Err() != nil:
 			return err
 		case err != nil, status >= 500:
-			c.res.fault(chaos.KindSession)
+			c.fault(chaos.KindSession)
 			faults++
 			if faults > c.Retry.Budget() {
 				if err == nil {
@@ -387,10 +403,11 @@ func (c *Client) Leave(ctx context.Context) error {
 		case status != http.StatusNoContent && status != http.StatusNotFound:
 			return fmt.Errorf("dash: leaving session: status %d: %s", status, msg)
 		default:
+			c.emit(qlog.Event{Kind: qlog.KindSessionLeave, Bytes: c.streamedBytes, Extra: c.streamedChunks})
 			c.sid = ""
 			return nil
 		}
-		c.res.Retries++
+		c.retry()
 		if !c.backoff(ctx, attempt) {
 			return fmt.Errorf("dash: leaving session: %w", ctx.Err())
 		}
@@ -536,6 +553,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 					prof = p
 				}
 				sess.WeightRefreshes++
+				c.emit(qlog.Event{Kind: qlog.KindEpochAdopted, Chunk: int32(i), Epoch: prof.Epoch})
 			case ctx.Err() != nil:
 				return nil, fmt.Errorf("dash: refreshing weights at chunk %d: %w", i, err)
 			case errors.Is(err, errWire):
@@ -544,6 +562,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 				// snapshot — counted, never torn — rather than killing
 				// playback over a sensitivity update.
 				c.res.StaleWeightsKept++
+				c.degrade(degradeStaleWeights)
 			default:
 				// Validation failures at the trust boundary still abort: a
 				// reachable origin sending poisoned weights is not a
@@ -562,7 +581,25 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			Weights:       prof.Weights,
 			Sensitivity:   prof,
 		}
+		var decideStart time.Time
+		if c.Events != nil || c.Metrics != nil {
+			decideStart = time.Now()
+		}
 		d := c.Algorithm.Decide(st)
+		if c.Events != nil || c.Metrics != nil {
+			// Decision latency is real compute, so it is measured on the
+			// wall clock even when the session's timing plane is virtual.
+			lat := time.Since(decideStart)
+			if c.Metrics != nil {
+				c.Metrics.DecisionLatency.Observe(int64(lat))
+			}
+			c.emit(qlog.Event{
+				Kind: qlog.KindDecision, Chunk: int32(i), Rung: int32(d.Rung),
+				Epoch: prof.Epoch, Wire: lat,
+				Extra: int64(buffer * float64(time.Second)),
+				Tput:  d.PreStallSec,
+			})
+		}
 		if d.Rung < 0 || d.Rung >= len(v.Ladder) {
 			return nil, fmt.Errorf("dash: %s chose rung %d", c.Algorithm.Name(), d.Rung)
 		}
@@ -579,6 +616,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			buffer += d.PreStallSec
 			sess.Rendering.StallSec[i] += d.PreStallSec
 			sess.RebufferVirtualSec += d.PreStallSec
+			c.stall(d.PreStallSec)
 		}
 
 		// Wait out a full buffer before starting the download — a
@@ -593,6 +631,8 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			buffer -= wait
 		}
 
+		c.emit(qlog.Event{Kind: qlog.KindChunkStart, Chunk: int32(i), Rung: int32(d.Rung),
+			Bytes: int64(v.ChunkSizeBits(i, d.Rung) / 8)})
 		f, err := c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, d.Rung)),
 			chaos.KindSegment, int64(v.ChunkSizeBits(i, d.Rung)/8), true)
 		if err != nil && errors.Is(err, errWire) && d.Rung != 0 {
@@ -601,7 +641,10 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 			// cheapest segment has the best odds of surviving a degraded
 			// wire, and a low-quality chunk beats a dead session.
 			c.res.SegmentFallbacks++
+			c.degrade(degradeSegmentFallback)
 			d.Rung = 0
+			c.emit(qlog.Event{Kind: qlog.KindChunkStart, Chunk: int32(i),
+				Bytes: int64(v.ChunkSizeBits(i, 0) / 8)})
 			f, err = c.fetch(ctx, c.videoPath(v.Name, fmt.Sprintf("segment/%d/%d", i, 0)),
 				chaos.KindSegment, int64(v.ChunkSizeBits(i, 0)/8), true)
 		}
@@ -630,6 +673,13 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		}
 		sess.BytesDownloaded += f.bytes + f.partialBytes
 		sess.DownloadVirtualSec += elapsedVirtual + f.partialSec/scale
+		if f.partialBytes > 0 {
+			// Partial payloads from truncated attempts: ledgered bytes that
+			// never became a throughput sample. Summing chunk_done +
+			// chunk_progress bytes reproduces BytesDownloaded exactly.
+			c.emit(qlog.Event{Kind: qlog.KindChunkProgress, Chunk: int32(i),
+				Rung: int32(d.Rung), Bytes: f.partialBytes})
+		}
 
 		if i > 0 {
 			if totalVirtual > buffer {
@@ -637,6 +687,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 				sess.Rendering.StallSec[i] += stall
 				sess.RebufferVirtualSec += stall
 				buffer = 0
+				c.stall(stall)
 			} else {
 				buffer -= totalVirtual
 			}
@@ -646,6 +697,18 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 		sess.Rendering.Rungs[i] = d.Rung
 		lastRung = d.Rung
 		measured := float64(f.bytes*8) / elapsedVirtual
+		if c.Metrics != nil {
+			c.Metrics.DownloadLatency.Observe(int64(f.sec * float64(time.Second)))
+		}
+		c.emit(qlog.Event{
+			Kind: qlog.KindChunkDone, Chunk: int32(i), Rung: int32(d.Rung),
+			Bytes: f.bytes,
+			Wire:  time.Duration(f.sec * float64(time.Second)),
+			Virt:  time.Duration(elapsedVirtual * float64(time.Second)),
+			Tput:  measured,
+		})
+		c.emit(qlog.Event{Kind: qlog.KindBufferSample, Chunk: int32(i),
+			Extra: int64(buffer * float64(time.Second))})
 		sess.ThroughputBps = append(sess.ThroughputBps, measured)
 		thr = append(thr, measured)
 		if len(thr) > 8 {
@@ -667,10 +730,16 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 				switch {
 				case err == nil:
 					sess.RatingsPosted++
+					c.emit(qlog.Event{Kind: qlog.KindRatingPosted, Chunk: int32(i),
+						Epoch: sess.ChunkEpochs[i], Extra: int64(score)})
 					if accepted {
 						sess.RatingsAccepted++
+						c.emit(qlog.Event{Kind: qlog.KindRatingAccepted, Chunk: int32(i),
+							Epoch: sess.ChunkEpochs[i]})
 					} else {
 						sess.RatingsQuarantined++
+						c.emit(qlog.Event{Kind: qlog.KindRatingQuarantined, Chunk: int32(i),
+							Epoch: sess.ChunkEpochs[i]})
 					}
 					if respEpoch > observed {
 						observed = respEpoch
@@ -681,6 +750,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 					// Degradation rung: feedback is best-effort. Drop the
 					// rating without touching playback.
 					c.res.RatingsDropped++
+					c.degrade(degradeRatingDropped)
 				default:
 					return nil, fmt.Errorf("dash: rating chunk %d: %w", i, err)
 				}
@@ -693,6 +763,7 @@ func (c *Client) Stream(ctx context.Context, v *video.Video) (*Session, error) {
 	sess.Weights = prof.Weights
 	sess.WeightEpoch = prof.Epoch
 	sess.Resilience = c.res.clone()
+	c.streamedBytes, c.streamedChunks = sess.BytesDownloaded, int64(n)
 	return sess, nil
 }
 
@@ -776,11 +847,11 @@ func (c *Client) postRating(ctx context.Context, chunk int, epoch uint64, rating
 		if !transient || ctx.Err() != nil {
 			return false, 0, err
 		}
-		c.res.fault(chaos.KindRating)
+		c.fault(chaos.KindRating)
 		if attempt >= c.Retry.Budget() {
 			return false, 0, fmt.Errorf("dash: posting rating: retry budget exhausted after %d attempts: %w: %w", attempt+1, errWire, err)
 		}
-		c.res.Retries++
+		c.retry()
 		if !c.backoff(ctx, attempt) {
 			return false, 0, fmt.Errorf("dash: posting rating: %w", ctx.Err())
 		}
@@ -862,10 +933,70 @@ func (c *Client) clk() vclock.Clock {
 	return defaultClock
 }
 
+// Degradation-ladder step tokens carried in KindDegradation events. They
+// are package constants so emitting one never builds a string.
+const (
+	degradeSegmentFallback = "segment-fallback"
+	degradeStaleWeights    = "stale-weights"
+	degradeRatingDropped   = "rating-dropped"
+)
+
+// emit stamps ev on the client's clock and appends it to the trace ring.
+// A nil ring makes this a no-op, so call sites stay unconditional; a full
+// ring drops (and the registry counts the drop) rather than block.
+func (c *Client) emit(ev qlog.Event) {
+	if c.Events == nil {
+		return
+	}
+	ev.T = c.clk().Now()
+	qlog.Emit(c.Events, c.Metrics, ev)
+}
+
+// fault records one observed wire fault in the Resilience ledger and
+// mirrors it as a fault_survived event, so the per-kind event tally
+// reconciles exactly against Resilience.FaultsByKind.
+func (c *Client) fault(kind chaos.Kind) {
+	c.res.fault(kind)
+	c.emit(qlog.Event{Kind: qlog.KindFaultSurvived, Detail: string(kind)})
+}
+
+// retry records one wire attempt beyond the first: ledger, registry
+// counter, and a retry event whose Extra is the session's cumulative retry
+// count — event count ≡ Resilience.Retries by construction.
+func (c *Client) retry() {
+	c.res.Retries++
+	if c.Metrics != nil {
+		c.Metrics.Retries.Inc()
+	}
+	c.emit(qlog.Event{Kind: qlog.KindRetry, Extra: c.res.Retries})
+}
+
+// degrade records one graceful-degradation step (the ledger counter is
+// bumped at the call site, where the specific field lives).
+func (c *Client) degrade(step string) {
+	if c.Metrics != nil {
+		c.Metrics.Degradations.Inc()
+	}
+	c.emit(qlog.Event{Kind: qlog.KindDegradation, Detail: step})
+}
+
+// stall records one realized stall of sec session-virtual seconds as a
+// begin/end event pair plus a histogram observation.
+func (c *Client) stall(sec float64) {
+	ns := int64(sec * float64(time.Second))
+	if c.Metrics != nil {
+		c.Metrics.StallDuration.Observe(ns)
+	}
+	c.emit(qlog.Event{Kind: qlog.KindStallBegin, Extra: ns})
+	c.emit(qlog.Event{Kind: qlog.KindStallEnd, Virt: time.Duration(ns)})
+}
+
 // backoff sleeps out the retry schedule's attempt-th pause on the client's
 // clock; false means ctx fired first.
 func (c *Client) backoff(ctx context.Context, attempt int) bool {
-	return c.clk().Sleep(ctx, c.Retry.Delay(attempt))
+	d := c.Retry.Delay(attempt)
+	c.emit(qlog.Event{Kind: qlog.KindBackoff, Virt: d})
+	return c.clk().Sleep(ctx, d)
 }
 
 // markChaosKey stamps the request with the client's chaos stream key.
@@ -957,13 +1088,14 @@ func (c *Client) fetch(ctx context.Context, path string, kind chaos.Kind, expect
 		if !transient || ctx.Err() != nil {
 			return nil, err
 		}
-		c.res.fault(kind)
+		c.fault(kind)
 		if attempt >= c.Retry.Budget() {
 			return nil, fmt.Errorf("dash: GET %s: retry budget exhausted after %d attempts: %w: %w", path, attempt+1, errWire, err)
 		}
-		c.res.Retries++
+		c.retry()
 		d := c.Retry.Delay(attempt)
 		f.totalSec += d.Seconds()
+		c.emit(qlog.Event{Kind: qlog.KindBackoff, Virt: d})
 		if !clock.Sleep(ctx, d) {
 			return nil, fmt.Errorf("dash: GET %s: %w", path, ctx.Err())
 		}

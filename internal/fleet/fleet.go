@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"sensei/internal/origin"
 	"sensei/internal/par"
 	"sensei/internal/player"
+	"sensei/internal/qlog"
 	"sensei/internal/router"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
@@ -117,6 +119,15 @@ type Config struct {
 	// backoff budget, and the report gains a two-sided fault ledger that
 	// reconciliation matches exactly against /stats. Nil runs fault-free.
 	Chaos *ChaosSpec
+	// Events optionally turns on the qlog event plane for the whole run:
+	// every client traces into its own bounded ring (drained into the
+	// session's outcome after Leave), the origin mirrors the server side
+	// into per-session rings behind GET /events, and one shared metrics
+	// registry collects both planes behind GET /metrics. Reconciliation
+	// then gains a third independent witness: the per-session event tallies
+	// must agree exactly with the client ledgers, which already agree with
+	// origin /stats. Nil runs untraced.
+	Events *EventsSpec
 	// OriginShards, when > 1, runs the fleet against a multi-origin
 	// router (internal/router) fronting that many origin shards behind one
 	// listener instead of a single origin. Sessions spread across shards by
@@ -255,6 +266,20 @@ func (s *ChaosSpec) retryFor(k int) par.Backoff {
 	b := s.Retry
 	b.Seed ^= s.Seed ^ ((uint64(k) + 1) * 0x9e3779b97f4a7c15)
 	return b
+}
+
+// EventsSpec configures the fleet's qlog event plane.
+type EventsSpec struct {
+	// RingCapacity sizes every event ring — each client's trace ring and
+	// the origin's per-session mirror rings (rounded up to a power of two;
+	// 0 = qlog.DefaultRingCapacity). Size it to hold a whole session's
+	// event volume: a drop voids the trace's witness status and fails
+	// reconciliation.
+	RingCapacity int `json:"ring_capacity,omitempty"`
+	// KeepTraces retains each session's full drained event list on its
+	// outcome row (the per-kind tally is always kept). Large fleets may not
+	// want N full traces in a JSON report.
+	KeepTraces bool `json:"keep_traces,omitempty"`
 }
 
 // RefreshSpec schedules the fleet's mid-run weight refresh.
@@ -498,6 +523,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if clock == nil {
 		clock = vclock.NewReal()
 	}
+	// The event plane: one shared registry for the whole run — clients
+	// observe their decision/download/stall families into the same padded
+	// atomics the origin's serving families land in, so a /metrics scrape
+	// (or the report) sees both planes at once.
+	var metrics *qlog.Metrics
+	if cfg.Events != nil {
+		metrics = &qlog.Metrics{}
+	}
 	ocfg := origin.Config{
 		Clock:              clock,
 		Catalog:            cfg.Videos,
@@ -510,6 +543,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Ingest:             ingestCfg,
 		Chaos:              chaosPolicy,
 		Logf:               cfg.Logf,
+	}
+	if cfg.Events != nil {
+		ocfg.Events = &origin.EventsConfig{RingCapacity: cfg.Events.RingCapacity, Metrics: metrics}
 	}
 	// The serving plane under test: a single origin, or — when the run
 	// proves scale-out — a consistent-hash router fronting OriginShards
@@ -585,7 +621,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			cancelWatch()
 		}()
-		go func() {
+		// The watcher goroutine carries a pprof label like the session
+		// workers, so a profile of a refresh run attributes its polling.
+		go pprof.Do(watchCtx, pprof.Labels("subsystem", "fleet-refresh"), func(context.Context) {
 			defer close(refreshDone)
 			defer cancelWatch()
 			// The watcher is a registered clock participant: its sleeps
@@ -632,7 +670,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			refreshOut.Applied = true
 			refreshOut.AppliedSec = (clock.Now() - startClock).Seconds()
-		}()
+		})
 	} else {
 		close(refreshDone)
 	}
@@ -650,8 +688,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if raters != nil {
 			rater = raters[k]
 		}
-		outcomes[k] = runSession(ctx, base, httpc, clock, cfg.MaxBufferSec, k, a, rater, cfg.Chaos)
+		var ring *qlog.Ring
+		if cfg.Events != nil {
+			ring = qlog.NewRing(cfg.Events.RingCapacity)
+		}
+		// The session goroutine carries pprof labels (slot, algorithm,
+		// video) so a CPU or block profile of a large fleet breaks down by
+		// mix dimension instead of melting into one anonymous worker pool.
+		pprof.Do(ctx, pprof.Labels("slot", chaosKey(k), "abr", string(a.abr), "video", a.video.Name), func(ctx context.Context) {
+			outcomes[k] = runSession(ctx, base, httpc, clock, cfg.MaxBufferSec, k, a, rater, cfg.Chaos, ring, metrics)
+		})
 		outcomes[k].FinishedSec = (clock.Now() - startClock).Seconds()
+		if ring != nil {
+			outcomes[k].Events = drainOutcome(ring, cfg.Events.KeepTraces)
+		}
 		return nil
 	})
 	// Read the simulated span before teardown: the watcher's final polls
@@ -680,7 +730,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := buildReport(outcomes, st, shardSt, refreshOut, elapsed, virtualElapsed, cfg.KeepOutcomes)
+	rep := buildReport(outcomes, st, shardSt, refreshOut, metrics, elapsed, virtualElapsed, cfg.KeepOutcomes)
 	if rep.Chaos != nil && chaosPolicy != nil {
 		// The journal plus the seed make the whole run's fault schedule
 		// independently reproducible via chaos.Policy.Replay.
@@ -692,7 +742,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 // runSession streams one fleet slot end to end and captures its outcome.
 // The caller must hold a clock registration (Enter) for the duration.
-func runSession(ctx context.Context, base string, httpc *http.Client, clock vclock.Clock, maxBufferSec float64, k int, a assignment, rater dash.Rater, spec *ChaosSpec) SessionOutcome {
+func runSession(ctx context.Context, base string, httpc *http.Client, clock vclock.Clock, maxBufferSec float64, k int, a assignment, rater dash.Rater, spec *ChaosSpec, ring *qlog.Ring, metrics *qlog.Metrics) SessionOutcome {
 	out := SessionOutcome{
 		Index:     k,
 		Video:     a.video.Name,
@@ -714,6 +764,8 @@ func runSession(ctx context.Context, base string, httpc *http.Client, clock vclo
 		MaxBufferSec: maxBufferSec,
 		Rater:        rater,
 		Clock:        clock,
+		Events:       ring,
+		Metrics:      metrics,
 	}
 	if spec != nil {
 		c.ChaosKey = chaosKey(k)

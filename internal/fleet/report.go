@@ -10,6 +10,7 @@ import (
 	"sensei/internal/chaos"
 	"sensei/internal/dash"
 	"sensei/internal/origin"
+	"sensei/internal/qlog"
 	"sensei/internal/stats"
 	"sensei/internal/video"
 )
@@ -61,6 +62,10 @@ type SessionOutcome struct {
 	// under chaos): every transient failure survived, every degradation
 	// taken, counted never torn.
 	Resilience *dash.Resilience `json:"resilience,omitempty"`
+	// Events is the session's drained client-side trace summary (nil
+	// unless the fleet ran with Config.Events). Reconciliation checks it
+	// against the session's own ledgers as a third independent witness.
+	Events *EventsOutcome `json:"events,omitempty"`
 	// FinishedSec is when the session's stream completed, on the run
 	// clock — reconciliation uses it to tell a session that legitimately
 	// finished around a weight refresh from one the bump failed to reach.
@@ -77,6 +82,39 @@ func (o *SessionOutcome) EpochKey() string {
 		return strconv.FormatUint(o.WeightEpoch, 10)
 	}
 	return strconv.FormatUint(o.FirstEpoch, 10) + "→" + strconv.FormatUint(o.WeightEpoch, 10)
+}
+
+// EventsOutcome summarizes one session's drained client-side event ring.
+type EventsOutcome struct {
+	// ByKind counts drained events per kind token.
+	ByKind map[string]int64 `json:"by_kind,omitempty"`
+	// Bytes sums chunk_done + chunk_progress payload bytes — the event
+	// plane's reproduction of the session's byte ledger.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Drops is the ring's cumulative drop count. Nonzero means the trace
+	// has holes: it is no longer a witness, and reconciliation fails.
+	Drops int64 `json:"drops,omitempty"`
+	// Trace is the full drained event list (EventsSpec.KeepTraces only).
+	Trace []qlog.Event `json:"trace,omitempty"`
+}
+
+// count returns the session's tally for one event kind.
+func (e *EventsOutcome) count(k qlog.Kind) int64 { return e.ByKind[k.String()] }
+
+// drainOutcome consumes a session's trace ring into its outcome summary.
+func drainOutcome(r *qlog.Ring, keepTrace bool) *EventsOutcome {
+	events := r.Drain(nil)
+	t := qlog.TallyOf(events, r.Drops())
+	eo := &EventsOutcome{ByKind: map[string]int64{}, Bytes: t.Bytes, Drops: t.Drops}
+	for k := 1; k < qlog.NumKinds; k++ {
+		if n := t.Counts[k]; n != 0 {
+			eo.ByKind[qlog.Kind(k).String()] = n
+		}
+	}
+	if keepTrace {
+		eo.Trace = events
+	}
+	return eo
 }
 
 // Percentiles summarizes a metric's distribution tail.
@@ -159,6 +197,13 @@ type Report struct {
 	// chaos): what the origin injected versus what the clients survived,
 	// reconciled exactly per endpoint kind.
 	Chaos *ChaosLedger `json:"chaos,omitempty"`
+	// Events is the event-plane ledger (nil unless the fleet ran with
+	// Config.Events): the per-kind sums of every completed session's trace
+	// plus the shared registry's self-accounting. Reconciliation requires
+	// the traced byte ledger to equal the client ledger (which already
+	// equals origin /stats) and zero ring drops anywhere — three
+	// independently produced accounts of one run, in exact agreement.
+	Events *EventsLedger `json:"events,omitempty"`
 	// Origin is the server's /stats snapshot after the fleet drained.
 	Origin origin.Stats `json:"origin"`
 	// ShardStats holds the per-shard ledgers behind Origin when the fleet
@@ -209,9 +254,25 @@ type ChaosLedger struct {
 	Events []chaos.Event `json:"events,omitempty"`
 }
 
+// EventsLedger sums the fleet's event-plane activity: completed sessions'
+// per-kind trace tallies plus the shared registry's self-accounting
+// (origin-side mirror events included in Emitted).
+type EventsLedger struct {
+	// ByKind and Bytes sum completed sessions' traces — mirroring the
+	// client byte/segment ledgers, which also exclude failed sessions.
+	ByKind map[string]int64 `json:"by_kind"`
+	Bytes  int64            `json:"bytes"`
+	// Emitted and Drops are the shared registry's totals across every ring
+	// in the run (client traces, origin session mirrors, process ring).
+	Emitted int64 `json:"emitted"`
+	Drops   int64 `json:"drops"`
+	// SessionsTraced counts outcome rows carrying a trace summary.
+	SessionsTraced int `json:"sessions_traced"`
+}
+
 // buildReport aggregates outcomes and reconciles them against the origin's
 // ledger.
-func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.Stats, refresh *RefreshOutcome, elapsed, virtual time.Duration, keepOutcomes bool) *Report {
+func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.Stats, refresh *RefreshOutcome, metrics *qlog.Metrics, elapsed, virtual time.Duration, keepOutcomes bool) *Report {
 	r := &Report{
 		Sessions:   len(outcomes),
 		ElapsedSec: elapsed.Seconds(),
@@ -333,6 +394,30 @@ func buildReport(outcomes []SessionOutcome, st origin.Stats, shardSt []origin.St
 			cl.Degradations += res.Degradations()
 		}
 		r.Chaos = cl
+	}
+	if metrics != nil {
+		el := &EventsLedger{
+			ByKind:  map[string]int64{},
+			Emitted: metrics.EventsEmitted.Load(),
+			Drops:   metrics.RingDrops.Load(),
+		}
+		for i := range outcomes {
+			o := &outcomes[i]
+			if o.Events == nil {
+				continue
+			}
+			el.SessionsTraced++
+			if o.Err != "" {
+				// A failed session's partial trace stays on its row but is
+				// excluded from the sums, exactly like its byte ledger.
+				continue
+			}
+			el.Bytes += o.Events.Bytes
+			for k, n := range o.Events.ByKind {
+				el.ByKind[k] += n
+			}
+		}
+		r.Events = el
 	}
 	r.RebufferSec = percentilesOf(rebuf)
 	r.ThroughputMbps = percentilesOf(thrMbps)
@@ -501,6 +586,86 @@ func reconcile(outcomes []SessionOutcome, r *Report, st origin.Stats) Reconcilia
 			}
 		}
 	}
+	// Event-plane witness: every completed session's trace tally must agree
+	// exactly with the session's own ledgers — which reconciliation has
+	// already tied to origin /stats above — making the traces a third
+	// independently produced account of the run. Any ring drop anywhere
+	// voids the witness: a trace with holes proves nothing.
+	if r.Events != nil {
+		if r.Events.Drops != 0 {
+			problem("event plane dropped %d events (rings undersized; traces are not a witness)", r.Events.Drops)
+		}
+		if r.Events.Bytes != r.BytesDownloaded {
+			problem("event traces account %d payload bytes, client ledger %d", r.Events.Bytes, r.BytesDownloaded)
+		}
+		for i := range outcomes {
+			o := &outcomes[i]
+			ev := o.Events
+			if ev == nil {
+				if o.Err == "" {
+					problem("session %d completed without an event trace", o.Index)
+				}
+				continue
+			}
+			if ev.Drops != 0 {
+				problem("session %d event ring dropped %d events", o.Index, ev.Drops)
+			}
+			if o.Err != "" {
+				// A failed session's trace is legitimately partial; the
+				// failure itself is already a problem above.
+				continue
+			}
+			if n := ev.count(qlog.KindSessionJoin); n != 1 {
+				problem("session %d traced %d session_join events", o.Index, n)
+			}
+			if n := ev.count(qlog.KindSessionLeave); n != 1 {
+				problem("session %d traced %d session_leave events", o.Index, n)
+			}
+			if n := ev.count(qlog.KindDecision); n != int64(o.Segments) {
+				problem("session %d traced %d decisions for %d segments", o.Index, n, o.Segments)
+			}
+			if n := ev.count(qlog.KindChunkDone); n != int64(o.Segments) {
+				problem("session %d traced %d chunk_done events for %d segments", o.Index, n, o.Segments)
+			}
+			if ev.Bytes != o.BytesDownloaded {
+				problem("session %d traced %d payload bytes, client ledger %d", o.Index, ev.Bytes, o.BytesDownloaded)
+			}
+			var fallbacks int64
+			if o.Resilience != nil {
+				fallbacks = o.Resilience.SegmentFallbacks
+			}
+			if n := ev.count(qlog.KindChunkStart); n != int64(o.Segments)+fallbacks {
+				problem("session %d traced %d chunk_start events for %d segments + %d fallbacks",
+					o.Index, n, o.Segments, fallbacks)
+			}
+			if begin, end := ev.count(qlog.KindStallBegin), ev.count(qlog.KindStallEnd); begin != end {
+				problem("session %d traced %d stall_begin but %d stall_end events", o.Index, begin, end)
+			}
+			if n := ev.count(qlog.KindEpochAdopted); n != int64(o.WeightRefreshes) {
+				problem("session %d traced %d epoch adoptions, ledger says %d refreshes", o.Index, n, o.WeightRefreshes)
+			}
+			if n := ev.count(qlog.KindRatingPosted); n != int64(o.RatingsPosted) {
+				problem("session %d traced %d rating_posted events, ledger says %d", o.Index, n, o.RatingsPosted)
+			}
+			if n := ev.count(qlog.KindRatingAccepted); n != int64(o.RatingsAccepted) {
+				problem("session %d traced %d rating_accepted events, ledger says %d", o.Index, n, o.RatingsAccepted)
+			}
+			if n := ev.count(qlog.KindRatingQuarantined); n != int64(o.RatingsQuarantined) {
+				problem("session %d traced %d rating_quarantined events, ledger says %d", o.Index, n, o.RatingsQuarantined)
+			}
+			if res := o.Resilience; res != nil {
+				if n := ev.count(qlog.KindRetry); n != res.Retries {
+					problem("session %d traced %d retries, resilience ledger says %d", o.Index, n, res.Retries)
+				}
+				if n := ev.count(qlog.KindFaultSurvived); n != res.Faults() {
+					problem("session %d traced %d faults survived, resilience ledger says %d", o.Index, n, res.Faults())
+				}
+				if n := ev.count(qlog.KindDegradation); n != res.Degradations() {
+					problem("session %d traced %d degradations, resilience ledger says %d", o.Index, n, res.Degradations())
+				}
+			}
+		}
+	}
 	if r.Refresh != nil {
 		switch {
 		case r.Refresh.Err != "":
@@ -656,6 +821,11 @@ func (r *Report) Render() string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+
+	if r.Events != nil {
+		fmt.Fprintf(&b, "events: %d emitted across %d traced sessions, %d ring drops\n",
+			r.Events.Emitted, r.Events.SessionsTraced, r.Events.Drops)
 	}
 
 	if len(r.ShardStats) > 0 {

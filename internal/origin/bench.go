@@ -66,11 +66,26 @@ func NewSegmentBenchHarness() (*SegmentBenchHarness, error) {
 // of the middleware being present but idle — the "chaos off the hot path"
 // contract — without any fault ever firing.
 func NewSegmentBenchHarnessWithChaos(p *chaos.Policy) (*SegmentBenchHarness, error) {
+	return newSegmentBenchHarness(func(cfg *Config) { cfg.Chaos = p })
+}
+
+// NewSegmentBenchHarnessWithEvents is NewSegmentBenchHarness with the
+// event plane on: every served segment mirrors into the session's ring and
+// bumps the registry. Paired against the plain harness it prices the
+// observability tax — the "observability never blocks the hot path"
+// contract, measured rather than asserted.
+func NewSegmentBenchHarnessWithEvents() (*SegmentBenchHarness, error) {
+	return newSegmentBenchHarness(func(cfg *Config) { cfg.Events = &EventsConfig{} })
+}
+
+func newSegmentBenchHarness(mutate func(*Config)) (*SegmentBenchHarness, error) {
 	cfg, err := BenchConfig()
 	if err != nil {
 		return nil, err
 	}
-	cfg.Chaos = p
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	v := cfg.Catalog[0]
 	o, err := New(cfg)
 	if err != nil {

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,6 +61,7 @@ import (
 	"sensei/internal/chaos"
 	"sensei/internal/dash"
 	"sensei/internal/ingest"
+	"sensei/internal/qlog"
 	"sensei/internal/sensitivity"
 	"sensei/internal/trace"
 	"sensei/internal/vclock"
@@ -125,6 +127,16 @@ type Config struct {
 	// participants (the fleet harness's sessions) unless ExternalClients is
 	// set.
 	Clock vclock.Clock
+	// Events, when non-nil, enables the qlog session event plane: every
+	// session carries a server-side event ring drained via GET /events,
+	// injected faults mirror onto a process ring, and GET /metrics serves
+	// the aggregate registry as Prometheus text. Nil keeps every emitter
+	// off the request path — the segment hot path pays one nil check.
+	Events *EventsConfig
+	// Shard is this origin's index behind a multi-origin router, used only
+	// to label the origin's background goroutines for pprof cohorting
+	// (0 for a standalone origin).
+	Shard int
 	// ExternalClients marks deployments whose clients are outside the
 	// process (cmd/dashserver -vclock): the origin brackets every request
 	// with its own Enter/Exit so unregistered callers can drive a virtual
@@ -208,6 +220,14 @@ type Origin struct {
 	chaos    *chaos.Injector // nil when fault injection is disabled
 	mux      *http.ServeMux
 	handler  http.Handler // mux, possibly behind the chaos middleware
+
+	// Event plane (nil/zero when disabled): aggregate registry, per-session
+	// ring capacity, the process-level ring for non-session events
+	// (injected faults), and the recycled /metrics render buffer.
+	events     *qlog.Metrics
+	eventsCap  int
+	procRing   *qlog.Ring
+	metricsBuf atomic.Pointer[[]byte]
 
 	shards [registryShards]sessionShard
 	active atomic.Int64 // registered sessions (the MaxSessions reservation)
@@ -303,6 +323,19 @@ func New(cfg Config) (*Origin, error) {
 		mux.HandleFunc("POST /rating", o.handleRating)
 	}
 	mux.HandleFunc("GET /stats", o.handleStats)
+	if cfg.Events != nil {
+		o.events = cfg.Events.Metrics
+		if o.events == nil {
+			o.events = &qlog.Metrics{}
+		}
+		o.eventsCap = cfg.Events.ringCapacity()
+		o.procRing = qlog.NewRing(o.eventsCap)
+		// Like /stats and /refresh, the event endpoints are never behind
+		// the chaos middleware (classifyChaos does not match them):
+		// observability stays reachable no matter the weather.
+		mux.HandleFunc("GET /events", o.handleEvents)
+		mux.HandleFunc("GET /metrics", o.handleMetrics)
+	}
 	o.mux = mux
 	o.handler = mux
 	if cfg.Chaos != nil {
@@ -311,6 +344,9 @@ func New(cfg Config) (*Origin, error) {
 			return nil, fmt.Errorf("origin: %w", err)
 		}
 		inj.SetClock(cfg.Clock)
+		if o.events != nil {
+			inj.SetObserver(o.observeChaos)
+		}
 		o.chaos = inj
 		o.handler = inj.Middleware(mux, classifyChaos)
 	}
@@ -330,7 +366,11 @@ func New(cfg Config) (*Origin, error) {
 		interval = 10 * time.Millisecond
 	}
 	o.wg.Add(1)
-	go o.janitor(interval)
+	// The janitor's pprof label segments profiles by subsystem and — behind
+	// a multi-origin router — by owning shard.
+	go pprof.Do(context.Background(),
+		pprof.Labels("subsystem", "origin-janitor", "shard", strconv.Itoa(cfg.Shard)),
+		func(context.Context) { o.janitor(interval) })
 	return o, nil
 }
 
@@ -613,10 +653,19 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 		shaper:    shaper,
 		created:   o.cfg.Clock.Now(),
 	}
+	if o.events != nil {
+		s.ring = qlog.NewRing(o.eventsCap)
+	}
 	s.touch(s.created)
 	if !o.addSession(s) {
 		http.Error(w, "origin: session registry full", http.StatusServiceUnavailable)
 		return
+	}
+	if o.events != nil {
+		o.events.SessionsJoined.Inc()
+		qlog.Emit(s.ring, o.events, qlog.Event{
+			T: s.created, Kind: qlog.KindOriginJoin, Detail: ce.v.Name,
+		})
 	}
 	o.logf("origin: session %s joined: video=%q trace=%q timescale=%g", s.id, ce.v.Name, traceName, scale)
 	w.Header().Set("Content-Type", "application/json")
@@ -630,6 +679,16 @@ func (o *Origin) handleJoin(w http.ResponseWriter, r *http.Request) {
 
 func (o *Origin) handleLeave(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Resolve the ring before removal: the leave mirror event lands on the
+	// session's ring as its final record (drainable in-process; the wire
+	// drain ends with the session, so drain before DELETE to observe it).
+	var ring *qlog.Ring
+	var finalBytes, finalSegs int64
+	if o.events != nil {
+		if s, ok := o.lookupSession(id); ok {
+			ring, finalBytes, finalSegs = s.ring, s.bytes.Load(), s.segments.Load()
+		}
+	}
 	switch o.removeSession(id) {
 	case removeMissing:
 		http.Error(w, fmt.Sprintf("origin: no session %q", id), http.StatusNotFound)
@@ -638,6 +697,12 @@ func (o *Origin) handleLeave(w http.ResponseWriter, r *http.Request) {
 		// tells the client to drain (or abort) its stream and retry.
 		http.Error(w, fmt.Sprintf("origin: session %q has a stream in flight; drain it and retry", id), http.StatusConflict)
 	case removeDone:
+		if ring != nil {
+			qlog.Emit(ring, o.events, qlog.Event{
+				T: o.cfg.Clock.Now(), Kind: qlog.KindOriginLeave,
+				Bytes: finalBytes, Extra: finalSegs,
+			})
+		}
 		o.logf("origin: session %s left", id)
 		w.WriteHeader(http.StatusNoContent)
 	}
@@ -820,6 +885,19 @@ func (o *Origin) handleRating(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if o.events != nil {
+		kind := qlog.KindOriginRatingAccepted
+		if outcome == ingest.Quarantined {
+			kind = qlog.KindOriginRatingQuarantined
+			o.events.RatingsQuarantined.Inc()
+		} else {
+			o.events.RatingsAccepted.Inc()
+		}
+		qlog.Emit(sess.ring, o.events, qlog.Event{
+			T: o.cfg.Clock.Now(), Kind: kind,
+			Chunk: int32(req.Chunk), Epoch: req.Epoch, Extra: int64(req.Rating),
+		})
+	}
 	cur := o.store.EpochOf(ce.v.Name)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(WeightEpochHeader, strconv.FormatUint(cur, 10))
@@ -874,6 +952,10 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 			sess.inflight.Add(-1)
 		}
 	}()
+	var segStart time.Time
+	if o.events != nil {
+		segStart = time.Now()
+	}
 	if sess.videoName != ce.v.Name {
 		http.Error(w, fmt.Sprintf("origin: session %s is pinned to %q, not %q", sid, sess.videoName, ce.v.Name), http.StatusConflict)
 		return
@@ -937,6 +1019,26 @@ func (o *Origin) handleSegment(w http.ResponseWriter, r *http.Request) {
 	sess.touch(o.cfg.Clock.Now())
 	sess.bytes.Add(int64(deliver))
 	sess.shard.bytes.Add(int64(deliver))
+	// Event-plane mirror, settled with the rest of the accounting — before
+	// the final Write — so a client that observes the transfer complete and
+	// immediately drains /events finds this delivery's event. One
+	// origin_segment event per delivery (partial deliveries included: their
+	// bytes are real wire bytes) plus the aggregate registry. Ring emits
+	// never block and never allocate, so the zero-alloc steady-state
+	// contract holds with the plane on.
+	if o.events != nil {
+		wire := time.Since(segStart)
+		qlog.Emit(sess.ring, o.events, qlog.Event{
+			T: o.cfg.Clock.Now(), Kind: qlog.KindOriginSegment,
+			Chunk: int32(chunk), Rung: int32(rung),
+			Bytes: int64(deliver), Wire: wire,
+		})
+		o.events.SegmentLatency.Observe(int64(wire))
+		o.events.BytesServed.Add(int64(deliver))
+		if !truncated {
+			o.events.SegmentsServed.Inc()
+		}
+	}
 	remaining := deliver
 	for remaining > 0 {
 		n := len(segmentPattern)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sensei/internal/dash"
+	"sensei/internal/qlog"
 )
 
 // registryShards is the lock-striping width of the session registry.
@@ -50,6 +51,10 @@ type session struct {
 	inflight atomic.Int64  // segment streams currently being served
 	bytes    atomic.Int64
 	segments atomic.Int64
+
+	// ring is the session's server-side event ring (nil when the event
+	// plane is disabled), drained via GET /events?sid=.
+	ring *qlog.Ring
 }
 
 // newSessionID returns a 16-hex-char random identifier, unique for all

@@ -1,0 +1,310 @@
+package qlog
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRingFIFO pins the single-producer contract: events come out in emit
+// order with dense 1-based sequence numbers.
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		if !r.Emit(Event{Kind: KindDecision, Chunk: int32(i)}) {
+			t.Fatalf("emit %d refused below capacity", i)
+		}
+	}
+	got := r.Drain(nil)
+	if len(got) != 5 {
+		t.Fatalf("drained %d events, want 5", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) || ev.Chunk != int32(i) {
+			t.Fatalf("event %d: seq %d chunk %d, want seq %d chunk %d", i, ev.Seq, ev.Chunk, i+1, i)
+		}
+	}
+	if r.Drops() != 0 {
+		t.Fatalf("drops %d, want 0", r.Drops())
+	}
+}
+
+// TestRingCapacityRounds pins power-of-two rounding and the default.
+func TestRingCapacityRounds(t *testing.T) {
+	if got := NewRing(100).Cap(); got != 128 {
+		t.Fatalf("cap(100) rounded to %d, want 128", got)
+	}
+	if got := NewRing(0).Cap(); got != DefaultRingCapacity {
+		t.Fatalf("cap(0) = %d, want %d", got, DefaultRingCapacity)
+	}
+}
+
+// TestRingOverflowExactDrops is the overflow contract: with no drainer, a
+// ring of capacity C accepts exactly C events and drops — counting each
+// one — everything past that, without ever blocking the emitter.
+func TestRingOverflowExactDrops(t *testing.T) {
+	const capacity = 16
+	r := NewRing(capacity)
+	const total = 100
+	stored := 0
+	for i := 0; i < total; i++ {
+		if r.Emit(Event{Kind: KindChunkDone, Bytes: 1}) {
+			stored++
+		}
+	}
+	if stored != capacity {
+		t.Fatalf("stored %d events, want exactly capacity %d", stored, capacity)
+	}
+	if r.Drops() != total-capacity {
+		t.Fatalf("drops %d, want %d", r.Drops(), total-capacity)
+	}
+	// Draining frees the slots: the ring accepts again.
+	if got := len(r.Drain(nil)); got != capacity {
+		t.Fatalf("drained %d, want %d", got, capacity)
+	}
+	if !r.Emit(Event{Kind: KindChunkDone}) {
+		t.Fatal("emit refused after drain freed the ring")
+	}
+}
+
+// TestRingSlowDrainerFastEmitters is the satellite's race gate: several
+// fast emitters against one deliberately slow drainer. The accounting must
+// stay exact — stored + dropped == attempted, every stored event is
+// delivered exactly once — and no emitter ever blocks on the drainer
+// (bounded total work proves it terminates). Run under -race this is the
+// ring's publication-safety smoke.
+func TestRingSlowDrainerFastEmitters(t *testing.T) {
+	const (
+		emitters   = 4
+		perEmitter = 5000
+	)
+	r := NewRing(64)
+	var stored atomic.Int64
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				if r.Emit(Event{Kind: KindChunkDone, Chunk: int32(i), Extra: int64(e)}) {
+					stored.Add(1)
+				}
+			}
+		}(e)
+	}
+
+	var drained int64
+	seen := map[uint64]bool{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]Event, 0, 64)
+		for {
+			buf = r.Drain(buf[:0])
+			for _, ev := range buf {
+				if seen[ev.Seq] {
+					t.Errorf("event seq %d delivered twice", ev.Seq)
+					return
+				}
+				seen[ev.Seq] = true
+			}
+			drained += int64(len(buf))
+			select {
+			case <-time.After(time.Millisecond): // the slow part
+			default:
+			}
+			if drained >= stored.Load() && emittersDone(&wg) {
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-done
+	// Final sweep for anything emitted after the drainer's last lap.
+	for _, ev := range r.Drain(nil) {
+		if seen[ev.Seq] {
+			t.Fatalf("event seq %d delivered twice", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		drained++
+	}
+
+	attempted := int64(emitters * perEmitter)
+	if got := stored.Load() + r.Drops(); got != attempted {
+		t.Fatalf("stored %d + dropped %d = %d, want %d attempted", stored.Load(), r.Drops(), got, attempted)
+	}
+	if drained != stored.Load() {
+		t.Fatalf("drained %d events, want every stored one (%d)", drained, stored.Load())
+	}
+	if int64(r.Emitted()) != stored.Load() {
+		t.Fatalf("Emitted() %d, want %d", r.Emitted(), stored.Load())
+	}
+}
+
+// emittersDone reports whether wg has drained without blocking the caller.
+func emittersDone(wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// TestDrainSince pins the resumable-cursor semantics: a re-drain with the
+// last seen Seq never re-delivers, and later events still come through.
+func TestDrainSince(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindRetry})
+	}
+	first := r.DrainSince(0, nil)
+	if len(first) != 10 {
+		t.Fatalf("first drain: %d events, want 10", len(first))
+	}
+	cursor := first[len(first)-1].Seq
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Kind: KindBackoff})
+	}
+	second := r.DrainSince(cursor, nil)
+	if len(second) != 3 {
+		t.Fatalf("second drain: %d events, want 3", len(second))
+	}
+	for _, ev := range second {
+		if ev.Seq <= cursor || ev.Kind != KindBackoff {
+			t.Fatalf("re-delivered or wrong event: seq %d kind %s", ev.Seq, ev.Kind)
+		}
+	}
+}
+
+// TestEmitZeroAlloc pins the hot-path contract: appending an event to a
+// ring with free space allocates nothing.
+func TestEmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	r := NewRing(1 << 12)
+	var m Metrics
+	ev := Event{Kind: KindChunkDone, T: time.Second, Chunk: 3, Rung: 2, Bytes: 1 << 20, Detail: "segment"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		Emit(r, &m, ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEventJSONRoundTrip checks the hand-rolled encoder against the
+// struct's JSON tags via encoding/json decode.
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{
+		Seq: 7, T: 1500 * time.Millisecond, Kind: KindChunkDone,
+		Chunk: 12, Rung: 3, Bytes: 123456, Wire: 80 * time.Millisecond,
+		Virt: 2 * time.Second, Tput: 2.5e6, Epoch: 4, Extra: 9, Detail: "soccer",
+	}
+	line := in.AppendJSON(nil)
+	var out struct {
+		Seq    uint64  `json:"seq"`
+		T      int64   `json:"t"`
+		Kind   string  `json:"kind"`
+		Chunk  int32   `json:"chunk"`
+		Rung   int32   `json:"rung"`
+		Bytes  int64   `json:"bytes"`
+		Wire   int64   `json:"wire"`
+		Virt   int64   `json:"virt"`
+		Tput   float64 `json:"tput"`
+		Epoch  uint64  `json:"epoch"`
+		Extra  int64   `json:"extra"`
+		Detail string  `json:"detail"`
+	}
+	if err := json.Unmarshal(line, &out); err != nil {
+		t.Fatalf("hand-rolled JSON does not parse: %v\n%s", err, line)
+	}
+	if out.Seq != in.Seq || out.T != int64(in.T) || out.Kind != in.Kind.String() ||
+		out.Chunk != in.Chunk || out.Rung != in.Rung || out.Bytes != in.Bytes ||
+		out.Wire != int64(in.Wire) || out.Virt != int64(in.Virt) || out.Tput != in.Tput ||
+		out.Epoch != in.Epoch || out.Extra != in.Extra || out.Detail != in.Detail {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	if KindByName(out.Kind) != in.Kind {
+		t.Fatalf("KindByName(%q) = %v, want %v", out.Kind, KindByName(out.Kind), in.Kind)
+	}
+}
+
+// TestMetricsPrometheusText sanity-checks the exposition: families
+// present, cumulative buckets monotone, counts consistent.
+func TestMetricsPrometheusText(t *testing.T) {
+	var m Metrics
+	m.SegmentLatency.Observe(int64(3 * time.Millisecond))
+	m.SegmentLatency.Observe(int64(40 * time.Millisecond))
+	m.SegmentLatency.Observe(int64(2 * time.Minute)) // lands in +Inf
+	m.Retries.Add(5)
+	text := string(m.AppendPrometheus(nil))
+
+	for _, want := range []string{
+		"# TYPE sensei_segment_latency_seconds histogram",
+		`sensei_segment_latency_seconds_bucket{le="+Inf"} 3`,
+		"sensei_segment_latency_seconds_count 3",
+		"# TYPE sensei_retries_total counter",
+		"sensei_retries_total 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if m.SegmentLatency.Count() != 3 {
+		t.Fatalf("histogram count %d, want 3", m.SegmentLatency.Count())
+	}
+	if got := m.SegmentLatency.SumNs(); got != int64(3*time.Millisecond+40*time.Millisecond+2*time.Minute) {
+		t.Fatalf("histogram sum %d ns", got)
+	}
+}
+
+// TestTally pins the per-kind fold the reconciler consumes.
+func TestTally(t *testing.T) {
+	events := []Event{
+		{Kind: KindChunkDone, Bytes: 100},
+		{Kind: KindChunkDone, Bytes: 200},
+		{Kind: KindChunkProgress, Bytes: 50},
+		{Kind: KindRetry},
+	}
+	tally := TallyOf(events, 2)
+	if tally.Count(KindChunkDone) != 2 || tally.Count(KindChunkProgress) != 1 || tally.Count(KindRetry) != 1 {
+		t.Fatalf("kind counts wrong: %+v", tally.Counts)
+	}
+	if tally.Bytes != 350 {
+		t.Fatalf("bytes %d, want 350", tally.Bytes)
+	}
+	if tally.Drops != 2 {
+		t.Fatalf("drops %d, want 2", tally.Drops)
+	}
+}
+
+// BenchmarkRingEmit prices one hot-path emit — ring push plus registry
+// bump — with the ring drained every lap so every push takes the success
+// path. The alloc report must read 0 allocs/op.
+func BenchmarkRingEmit(b *testing.B) {
+	r := NewRing(DefaultRingCapacity)
+	m := &Metrics{}
+	ev := Event{Kind: KindChunkDone, Chunk: 3, Rung: 2, Bytes: 1 << 20}
+	buf := make([]Event, 0, DefaultRingCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&(DefaultRingCapacity-1) == DefaultRingCapacity-1 {
+			b.StopTimer()
+			buf = r.Drain(buf[:0])
+			b.StartTimer()
+		}
+		Emit(r, m, ev)
+	}
+	_ = buf
+	if r.Drops() != 0 {
+		b.Fatalf("%d drops on a drained ring", r.Drops())
+	}
+}

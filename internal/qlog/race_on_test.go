@@ -1,0 +1,8 @@
+//go:build race
+
+package qlog
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun gates are meaningless under
+// it.
+const raceEnabled = true

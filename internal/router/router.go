@@ -31,10 +31,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"sensei/internal/chaos"
 	"sensei/internal/origin"
+	"sensei/internal/qlog"
 	"sensei/internal/sensitivity"
 )
 
@@ -85,9 +87,26 @@ func New(cfg Config) (*Router, error) {
 		store: origin.NewWeightService(cfg.Origin.WeightDir, cfg.Origin.Profile, cfg.Origin.Logf),
 		ring:  newRing(cfg.Shards),
 	}
+	// One aggregate metrics registry for the whole deployment: every shard
+	// observes into the same padded atomics, so GET /metrics on any shard
+	// (the router routes it to shard 0) is the merged exposition — no
+	// fan-out-and-sum needed on the scrape path.
+	var sharedMetrics *qlog.Metrics
+	if cfg.Origin.Events != nil {
+		sharedMetrics = cfg.Origin.Events.Metrics
+		if sharedMetrics == nil {
+			sharedMetrics = &qlog.Metrics{}
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := cfg.Origin
 		shardCfg.Weights = rt.store
+		shardCfg.Shard = i
+		if cfg.Origin.Events != nil {
+			ev := *cfg.Origin.Events
+			ev.Metrics = sharedMetrics
+			shardCfg.Events = &ev
+		}
 		o, err := origin.New(shardCfg)
 		if err != nil {
 			for _, prev := range rt.shards {
@@ -105,6 +124,13 @@ func New(cfg Config) (*Router, error) {
 	mux.HandleFunc("GET /weights", rt.routeBySID)
 	mux.HandleFunc("POST /refresh", rt.routeToShard0)
 	mux.HandleFunc("GET /stats", rt.handleStats)
+	// Event plane: a session drain goes to the shard that owns the sid; the
+	// process-ring drain (no sid) fans out and merges. /metrics can go to
+	// any shard — the registry is shared — so it takes the shard-0 route.
+	// When the event plane is disabled the shards 404 these, like a single
+	// origin would.
+	mux.HandleFunc("GET /events", rt.handleEvents)
+	mux.HandleFunc("GET /metrics", rt.routeToShard0)
 	rt.mux = mux
 	return rt, nil
 }
@@ -166,6 +192,55 @@ func (rt *Router) routeBySID(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) routeToShard0(w http.ResponseWriter, r *http.Request) {
 	rt.shards[0].ServeHTTP(w, r)
 }
+
+// handleEvents is the router's GET /events: a session's drain routes to
+// the shard owning the sid (session rings are shard-sticky, like every
+// other per-session resource); the process-ring drain (no sid) fans out
+// across every shard — each shard's chaos injector mirrors into its own
+// process ring — and merges the JSON lines, summing the drop header.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if sid := origin.QueryParam(r.URL.RawQuery, "sid"); sid != "" {
+		rt.shards[rt.ring.Owner(sid)].ServeHTTP(w, r)
+		return
+	}
+	var since uint64
+	if raw := origin.QueryParam(r.URL.RawQuery, "since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "router: bad since cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	var buf []byte
+	var drops int64
+	enabled := false
+	for _, o := range rt.shards {
+		ring := o.EventRing("")
+		if ring == nil {
+			continue
+		}
+		enabled = true
+		events := ring.DrainSince(since, nil)
+		for i := range events {
+			buf = events[i].AppendJSON(buf)
+			buf = append(buf, '\n')
+		}
+		drops += ring.Drops()
+	}
+	if !enabled {
+		http.Error(w, "router: event plane disabled", http.StatusNotFound)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set(origin.RingDropsHeader, strconv.FormatInt(drops, 10))
+	_, _ = w.Write(buf)
+}
+
+// Metrics exposes the deployment-wide shared registry (nil when the event
+// plane is disabled).
+func (rt *Router) Metrics() *qlog.Metrics { return rt.shards[0].Metrics() }
 
 // SessionsCreated sums the shards' join counters (lock-free; the fleet's
 // refresh watcher polls it).

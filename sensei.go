@@ -57,6 +57,7 @@ import (
 	"sensei/internal/origin"
 	"sensei/internal/par"
 	"sensei/internal/player"
+	"sensei/internal/qlog"
 	"sensei/internal/qoe"
 	"sensei/internal/router"
 	"sensei/internal/sensitivity"
@@ -481,3 +482,39 @@ type (
 // UniformChaos builds a policy faulting every endpoint kind at the same
 // per-request rate, with default modes, ceiling and tuning.
 func UniformChaos(seed uint64, rate float64) ChaosConfig { return chaos.Uniform(seed, rate) }
+
+// Session event plane: qlog-style structured tracing off the hot path.
+// Every session owns a bounded lock-free ring of typed events (drop-on-full
+// with exact accounting, never blocking the serving or streaming path), the
+// origin drains them incrementally over GET /events?sid=...&since=..., and
+// a padded-atomic registry backs a Prometheus-text GET /metrics. Set
+// DASHOriginConfig.Events (or `dashserver -events`) to enable both
+// endpoints; set FleetConfig.Events (or `fleetsim -events`) to trace a
+// whole fleet and have reconciliation cross-check every session's event
+// tallies against its own ledgers and the origin's /stats — a third
+// independently produced account of the run.
+type (
+	// DASHEventsConfig enables the origin's event plane: per-session trace
+	// rings, the /events drain and the /metrics exposition.
+	DASHEventsConfig = origin.EventsConfig
+	// Event is one structured trace record: a Kind plus fixed typed fields
+	// (chunk, rung, bytes, durations, epoch), JSON-lines on the wire.
+	Event = qlog.Event
+	// EventKind is the closed event taxonomy (see qlog.KindByName).
+	EventKind = qlog.Kind
+	// EventRing is the bounded lock-free MPMC ring sessions trace into.
+	EventRing = qlog.Ring
+	// EventMetrics is the padded-atomic aggregate registry behind /metrics.
+	EventMetrics = qlog.Metrics
+	// FleetEventsSpec attaches the event plane to a fleet run; the report
+	// gains a FleetEventsLedger and per-session trace summaries.
+	FleetEventsSpec = fleet.EventsSpec
+	// FleetEventsLedger is the fleet's event-plane ledger: per-kind trace
+	// sums plus the registry's emit/drop self-accounting.
+	FleetEventsLedger = fleet.EventsLedger
+)
+
+// NewEventRing builds a bounded trace ring (capacity rounded up to a power
+// of two; <= 0 selects the default). Set it on DASHClient.Events to trace a
+// hand-rolled client the way the fleet harness traces its sessions.
+func NewEventRing(capacity int) *EventRing { return qlog.NewRing(capacity) }
